@@ -1,0 +1,115 @@
+"""Ablation A5 — P2P peer-forwarding vs origin fan-out.
+
+Paper related work: "The P2P communication saves 50% bandwidth in our
+scenario but it is not reliable" — the reason Bifrost fans out from the
+origin with checksummed retransmission instead.  This bench measures
+both sides of that judgement on identical slice sets:
+
+* origin uplink bytes (the saving: one copy instead of three);
+* update time (the extra store-and-forward hop);
+* delivery loss under per-hop corruption with bounded retries (the
+  reliability cost: most regions sit behind twice the lossy hops).
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.bifrost.channels import TopologyConfig, build_topology
+from repro.bifrost.slices import Slice
+from repro.bifrost.transport import BifrostTransport, TransportConfig
+from repro.indexing.types import IndexEntry, IndexKind
+from repro.simulation.kernel import Simulator
+
+SLICES = 30
+SLICE_BYTES = 64 * 1024
+
+
+def make_slices():
+    return [
+        Slice.pack(
+            f"s{i:03d}",
+            1,
+            IndexKind.INVERTED,
+            [IndexEntry(IndexKind.INVERTED, b"key", bytes([i % 251]) * SLICE_BYTES)],
+        )
+        for i in range(SLICES)
+    ]
+
+
+def run(distribution: str, corruption: float, seed: int):
+    topology = build_topology(
+        Simulator(), TopologyConfig(backbone_bps=50e6)
+    )
+    transport = BifrostTransport(
+        topology,
+        config=TransportConfig(
+            distribution=distribution,
+            corruption_probability=corruption,
+            max_retransmits=1,
+            seed=seed,
+        ),
+    )
+    report = transport.deliver_version(make_slices())
+    total = report.deliveries + report.abandoned
+    return {
+        "origin_mb": report.origin_bytes_sent / 2**20,
+        "total_mb": report.bytes_sent / 2**20,
+        "update_s": report.update_time_s,
+        "loss": report.abandoned / total if total else 0.0,
+        "retrans": report.retransmissions,
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    clean = {
+        mode: run(mode, corruption=0.0, seed=1)
+        for mode in ("origin-fanout", "p2p")
+    }
+    lossy = {}
+    for mode in ("origin-fanout", "p2p"):
+        runs = [run(mode, corruption=0.25, seed=s) for s in range(5)]
+        lossy[mode] = {
+            "loss": sum(r["loss"] for r in runs) / len(runs),
+            "retrans": sum(r["retrans"] for r in runs) / len(runs),
+        }
+    return clean, lossy
+
+
+def test_ablation_p2p_distribution(results, benchmark):
+    clean, lossy = results
+    print("\n=== Ablation A5: origin fan-out vs P2P peer forwarding ===")
+    print(
+        render_table(
+            ["metric", "origin-fanout", "p2p"],
+            [
+                ["origin uplink (MB)", clean["origin-fanout"]["origin_mb"],
+                 clean["p2p"]["origin_mb"]],
+                ["total network (MB)", clean["origin-fanout"]["total_mb"],
+                 clean["p2p"]["total_mb"]],
+                ["update time (s)", clean["origin-fanout"]["update_s"],
+                 clean["p2p"]["update_s"]],
+                ["loss at 25% hop corruption",
+                 f"{lossy['origin-fanout']['loss'] * 100:.1f}%",
+                 f"{lossy['p2p']['loss'] * 100:.1f}%"],
+            ],
+        )
+    )
+    saving = 1 - clean["p2p"]["origin_mb"] / clean["origin-fanout"]["origin_mb"]
+    print(f"origin bandwidth saved by P2P: {saving * 100:.0f}% "
+          f"(paper: 'saves 50% bandwidth in our scenario')")
+    # The saving is real (>= the paper's 50%): the origin ships each
+    # slice once instead of three times.  Relieving the origin uplink can
+    # even shorten the clean-network update time — P2P's appeal is
+    # genuine, which is why the paper bothers to weigh it...
+    assert saving >= 0.5
+    assert clean["p2p"]["loss"] == 0.0
+    # ...but the total network work does not shrink (it moves to the
+    # inter-region links)...
+    assert clean["p2p"]["total_mb"] >= clean["origin-fanout"]["total_mb"] * 0.95
+    # ...and reliability is worse — the paper's verdict.  Two of three
+    # regions sit behind a second lossy hop, and losing the seed copy
+    # loses every region at once.
+    assert lossy["p2p"]["loss"] > lossy["origin-fanout"]["loss"]
+
+    benchmark(lambda: saving)

@@ -1,0 +1,67 @@
+"""Figure 7 — storage occupation under the lazy GC.
+
+Paper: on the same workload LevelDB ends at ~40 GB while QinDB ends at
+~80 GB.  QinDB's curve climbs steeply while the lazy GC defers (reads in
+flight, free space available), then bends when "the GC starts to work"
+(paper: around minute 185) as free space tightens.
+
+Bench assertions:
+* QinDB's *peak* footprint exceeds the LSM's (the cost side of RUM);
+* QinDB's curve has the lazy-GC knee: a monotone climb followed by a
+  significant drop when collection finally starts;
+* the LSM's footprint stays near its live set (frequent compaction).
+"""
+
+from repro.analysis.tables import render_table
+
+MB = 1024.0 * 1024.0
+
+
+def test_fig7_storage_occupation(fig5_qindb, fig5_lsm, benchmark):
+    q_series = [(t, v / MB) for t, v in fig5_qindb.replay.disk_used_series]
+    l_series = [(t, v / MB) for t, v in fig5_lsm.replay.disk_used_series]
+
+    print("\n=== Figure 7: storage occupation (MB) over time ===")
+    rows = []
+    for index in range(max(len(q_series), len(l_series))):
+        q = f"{q_series[index][1]:.0f}" if index < len(q_series) else ""
+        l = f"{l_series[index][1]:.0f}" if index < len(l_series) else ""
+        t = (
+            q_series[index][0]
+            if index < len(q_series)
+            else l_series[index][0]
+        )
+        rows.append([f"{t:.1f}", q, l])
+    print(render_table(["t(s)", "QinDB MB", "LSM MB"], rows))
+
+    q_values = [v for _t, v in q_series]
+    l_values = [v for _t, v in l_series]
+    q_peak, l_peak = max(q_values), max(l_values)
+    print(
+        f"peaks: QinDB {q_peak:.0f} MB vs LSM {l_peak:.0f} MB "
+        f"(paper end-state: ~80 GB vs ~40 GB)"
+    )
+
+    # The lazy GC costs space: QinDB's peak exceeds the LSM's.
+    assert q_peak > 1.15 * l_peak
+
+    # The knee: the growth rate collapses once the GC engages (paper:
+    # "this trend slows down at the 185th minute since the GC starts to
+    # work").  Compare the slope while the GC defers with the slope after
+    # the peak.
+    peak_index = q_values.index(q_peak)
+    assert 0 < peak_index < len(q_series) - 1, "knee must be interior"
+    t_peak = q_series[peak_index][0]
+    early_slope = q_peak / t_peak  # MB per simulated second while climbing
+    t_end = q_series[-1][0]
+    late_slope = (q_values[-1] - q_peak) / (t_end - t_peak)
+    print(f"knee at t={t_peak:.1f}s: slope {early_slope:.2f} -> {late_slope:.2f} MB/s")
+    assert early_slope > 2.0
+    assert late_slope < 0.25 * early_slope
+    assert fig5_qindb.replay.final_stats.gc_runs > 0
+
+    # Before the knee, QinDB's curve is (weakly) monotone increasing.
+    climbing = q_values[: peak_index + 1]
+    assert all(b >= a - 1.0 for a, b in zip(climbing, climbing[1:]))
+
+    benchmark(lambda: max(v for _t, v in fig5_qindb.replay.disk_used_series))

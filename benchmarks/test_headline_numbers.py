@@ -1,0 +1,105 @@
+"""The paper's headline prose numbers.
+
+* "63% updating bandwidth has been saved due to the deduplication";
+* "the write throughput to SSDs is increased by 3x";
+* "the index updating cycle ... compressed from 15 days to 3 days";
+* "inconsistent rate ... decreased from 5% to 1.2%" (abstract/eval intro).
+
+Each claim maps to measurements this repository produces; assertions are
+band checks (the exact percentages depend on Baidu's corpus, ours on the
+synthetic corpus knobs documented in DESIGN.md).
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.bifrost.dedup import Deduplicator
+from repro.indexing.builders import IndexBuildPipeline, PipelineConfig
+from repro.indexing.corpus import SyntheticWebCorpus
+
+
+def test_headline_bandwidth_saving(benchmark):
+    """~63% of wire bytes removed at the paper's ~70% duplicate ratio."""
+    corpus = SyntheticWebCorpus(
+        doc_count=300, doc_length=30, mutation_rate=0.3, seed=63
+    )
+    pipeline = IndexBuildPipeline(
+        corpus, PipelineConfig(summary_value_bytes=2048, forward_value_bytes=512)
+    )
+    deduplicator = Deduplicator()
+    deduplicator.process(pipeline.build_version())
+    savings = []
+    for _ in range(5):
+        result = deduplicator.process(pipeline.advance_and_build())
+        savings.append(result.bandwidth_saving_ratio)
+    mean_saving = sum(savings) / len(savings)
+    print(
+        f"\nbandwidth saved per version: "
+        f"{', '.join(f'{s * 100:.0f}%' for s in savings)} "
+        f"(mean {mean_saving * 100:.0f}%; paper: 63%)"
+    )
+    assert 0.40 < mean_saving < 0.85
+
+    benchmark(lambda: sum(savings))
+
+
+def test_headline_3x_write_throughput(fig5_qindb, fig5_lsm, benchmark):
+    """QinDB's sustained user-write throughput vs the LSM baseline.
+
+    The paper's 3x is the channel-capacity improvement; on the identical
+    paced Fig-5 workload our QinDB sustains the full offered rate while
+    the LSM saturates its device at a fraction of it.
+    """
+    q = fig5_qindb.replay.user_write_mean_mbs
+    l = fig5_lsm.replay.user_write_mean_mbs
+    ratio = q / l
+    print(
+        f"\nsustained user writes: QinDB {q:.2f} MB/s vs LSM {l:.2f} MB/s "
+        f"-> {ratio:.2f}x (paper: ~3x, 3.5 vs 1.5 MB/s measured)"
+    )
+    assert ratio > 2.0
+
+    benchmark(lambda: q / l)
+
+
+def test_headline_update_cycle_15_to_3_days(month_run, month_baseline, benchmark):
+    """The cycle compression: total time to push the month's versions.
+
+    The paper went from a 15-day to a 3-day updating cycle (5x).  We
+    compare the summed update times of the identical month with and
+    without DirectLoad and express them on the paper's day scale.
+    """
+    _s1, with_reports = month_run
+    _s2, base_reports = month_baseline
+    # Subtract the fixed generation window: the cycle compression acts on
+    # the *transfer* portion (the paper's build time was unchanged too).
+    window = _s1.config.generation_window_s
+    with_total = sum(max(0.0, r.update_time_s - window) for _d, r in with_reports)
+    base_total = sum(max(0.0, r.update_time_s - window) for _d, r in base_reports)
+    compression = base_total / with_total
+    # Normalize onto the paper's scale: the old system's month = 15 days.
+    scaled_new = 15.0 / compression
+    print(
+        f"\nsummed update time: without DirectLoad {base_total:.0f}s, "
+        f"with {with_total:.0f}s -> {compression:.2f}x compression "
+        f"(paper: 5x, i.e. 15 days -> 3 days; ours: 15 days -> "
+        f"{scaled_new:.1f} days)"
+    )
+    assert compression > 2.0
+
+    benchmark(lambda: base_total / with_total)
+
+
+def test_headline_inconsistency_rate(month_run, benchmark):
+    """Cross-region result inconsistency stays under the paper's 0.1%
+    during gray releases, and every version promoted."""
+    _system, reports = month_run
+    rates = [r.inconsistency_rate for _d, r in reports]
+    print(
+        f"\ngray-release inconsistency: max {max(rates) * 100:.4f}% "
+        f"(paper: measured under 0.1%)"
+    )
+    assert max(rates) < 0.001
+    assert all(r.promoted for _d, r in reports)
+
+    benchmark(lambda: max(rates))

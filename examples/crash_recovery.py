@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Crash recovery: the paper's stated trade, measured.
+
+QinDB buys write throughput by keeping its only index in RAM; after a
+power failure the memtable must be rebuilt by scanning every AOF.  This
+script:
+
+1. loads a node, power-fails it, and times the full recovery scan;
+2. shows a checkpoint shrinking the recovery time (only the AOF tail
+   past the watermark is replayed);
+3. shows why the paper tolerates the scan anyway: with three replicas,
+   the cluster keeps answering while a node rebuilds.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro.mint.cluster import MintCluster, MintConfig
+from repro.qindb.checkpoint import Checkpoint, crash, recover
+from repro.qindb.engine import QinDB, QinDBConfig
+from repro.workloads.kvtrace import make_value
+
+
+def load(engine: QinDB, items: int) -> None:
+    for index in range(items):
+        key = f"url-{index:06d}".encode()
+        engine.put(key, 1, make_value(key, 1, 4096))
+    engine.flush()
+
+
+def main() -> None:
+    items = 2000
+
+    # --- 1. the full scan -------------------------------------------------
+    engine = QinDB.with_capacity(
+        256 * 1024 * 1024, config=QinDBConfig(segment_bytes=4 * 1024 * 1024)
+    )
+    load(engine, items)
+    surviving_aofs = crash(engine)  # memtable gone; flash remains
+    before = surviving_aofs.device.now
+    rebuilt = recover(surviving_aofs)
+    full_scan_s = surviving_aofs.device.now - before
+    assert rebuilt.get(b"url-000042", 1) == make_value(b"url-000042", 1, 4096)
+    print(f"full AOF scan over {items} items: {full_scan_s * 1000:.1f} ms "
+          f"(simulated), {len(rebuilt.memtable)} items rebuilt")
+
+    # --- 2. checkpointed recovery -----------------------------------------
+    engine = QinDB.with_capacity(
+        256 * 1024 * 1024, config=QinDBConfig(segment_bytes=4 * 1024 * 1024)
+    )
+    load(engine, items)
+    checkpoint = Checkpoint.write(engine)
+    engine.put(b"url-tail", 2, b"written after the checkpoint")
+    engine.flush()
+    aofs = crash(engine)
+    before = aofs.device.now
+    rebuilt = recover(aofs, checkpoint=checkpoint)
+    checkpointed_s = aofs.device.now - before
+    assert rebuilt.get(b"url-tail", 2) == b"written after the checkpoint"
+    print(f"checkpointed recovery:          {checkpointed_s * 1000:.1f} ms "
+          f"({full_scan_s / checkpointed_s:.1f}x faster)")
+
+    # --- 3. replicas hide the recovering node ------------------------------
+    cluster = MintCluster(
+        "dc", MintConfig(group_count=1, nodes_per_group=3,
+                         node_capacity_bytes=128 * 1024 * 1024)
+    )
+    for index in range(300):
+        key = f"key-{index:04d}".encode()
+        cluster.put(key, 1, make_value(key, 1, 1024))
+    for node in cluster.all_nodes:
+        node.engine.flush()
+
+    victim = cluster.all_nodes[0]
+    victim.fail()
+    served = sum(
+        1
+        for index in range(300)
+        if cluster.get(f"key-{index:04d}".encode(), 1)
+    )
+    print(f"\nnode {victim.name} down: cluster still served "
+          f"{served}/300 reads through the replicas")
+    recovery_s = victim.recover()
+    print(f"node recovered in {recovery_s * 1000:.1f} ms (simulated), "
+          f"recoveries so far: {victim.recoveries}")
+
+
+if __name__ == "__main__":
+    main()

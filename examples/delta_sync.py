@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Chunk-level delta synchronization — the dedup extension.
+
+The paper deduplicates whole values; its related work points at rsync-
+style delta compression as the finer alternative.  This example runs the
+same evolving corpus through both modes and shows where each wins:
+
+* a *completely unchanged* value: both modes ship only the key;
+* a *partially edited* value: whole-value dedup ships everything,
+  chunk-level dedup ships only the edited region's chunks.
+
+Run:  python examples/delta_sync.py
+"""
+
+from repro.bifrost.chunking import ChunkStore, ChunkedDeduplicator
+from repro.bifrost.dedup import Deduplicator
+from repro.indexing.builders import IndexBuildPipeline, PipelineConfig
+from repro.indexing.corpus import SyntheticWebCorpus
+
+
+def main() -> None:
+    corpus = SyntheticWebCorpus(
+        doc_count=100, doc_length=120, mutation_rate=0.3, seed=52
+    )
+    pipeline = IndexBuildPipeline(
+        corpus, PipelineConfig(summary_value_bytes=8192, forward_value_bytes=4096)
+    )
+
+    whole = Deduplicator()
+    chunked = ChunkedDeduplicator(average_chunk_bytes=256)
+    store = ChunkStore()
+
+    print(f"{'ver':>3} {'whole-value saved':>18} {'chunk-level saved':>18}")
+    for round_index in range(5):
+        dataset = (
+            pipeline.build_version()
+            if round_index == 0
+            else pipeline.advance_and_build()
+        )
+        whole_result = whole.process(dataset)
+        chunk_result = chunked.process(dataset)
+        # Receiver-side check: every delta encoding reassembles exactly.
+        for (kind, key), encoding in chunk_result.encodings.items():
+            original = next(
+                e.value for e in dataset.of_kind(kind) if e.key == key
+            )
+            assert store.absorb(encoding) == original
+        print(
+            f"{dataset.version:>3} "
+            f"{whole_result.bandwidth_saving_ratio * 100:>17.0f}% "
+            f"{chunk_result.bandwidth_saving_ratio * 100:>17.0f}%"
+        )
+
+    print(
+        f"\nreceiver chunk store: {len(store)} chunks, "
+        f"{store.stored_bytes / 2**20:.2f} MB"
+    )
+    print(
+        "chunk-level dedup wins on *partially modified* documents: the\n"
+        "unchanged regions' chunks are already at the destination, so only\n"
+        "the edited region travels.  Run the A4 ablation for the full\n"
+        "comparison: pytest benchmarks/test_ablation_chunked_dedup.py"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""QinDB vs a LevelDB-shaped LSM on the paper's Figure-5 workload.
+
+Replays the same versioned key-value stream (11 versions, 20-byte keys,
+~16 KB values, oldest-version deletions) against both engines on
+identical simulated SSDs, paced at 3.5 MB/s of offered user writes, and
+prints the comparison the paper's Figures 5-7 plot:
+
+* sustained user-write rate (can the engine keep up with the stream?);
+* Sys Write / Sys Read (the firmware's view — write amplification);
+* write-rate smoothness (compaction stalls vs lazy GC);
+* disk occupancy (compaction's tidiness vs lazy GC's space debt).
+
+Run:  python examples/engine_comparison.py
+"""
+
+from repro import LSMConfig, LSMEngine, QinDB, QinDBConfig
+from repro.core.metrics import mean_and_stddev
+from repro.ssd.timing import TimingModel
+from repro.workloads.fig5 import Fig5Workload, Fig5WorkloadConfig
+from repro.workloads.kvtrace import replay_trace
+
+DEVICE = 64 * 1024 * 1024
+#: a modest SATA-class drive: the LSM's amplified writes saturate it
+TIMING = TimingModel(
+    page_read_s=80e-6, page_write_s=400e-6, block_erase_s=2e-3,
+    channel_parallelism=1,
+)
+WORKLOAD = Fig5WorkloadConfig(
+    key_count=256, key_bytes=20, value_bytes_mean=16 * 1024,
+    versions=11, retained_versions=4,
+)
+PACE = 3.5 * 1024 * 1024
+
+
+def run(engine, name):
+    if isinstance(engine, QinDB):
+        engine.reads_in_flight = 1  # production read pressure: GC is lazy
+    result = replay_trace(
+        engine, Fig5Workload(WORKLOAD).ops(),
+        sample_interval_s=0.5, pace_user_bytes_per_s=PACE,
+    )
+    interior = [v for _t, v in result.user_write_series][1:-1]
+    mean, std = mean_and_stddev(interior)
+    stats = result.final_stats
+    peak_disk = max(v for _t, v in result.disk_used_series)
+    print(f"\n--- {name} ---")
+    print(f"sustained user writes : {mean:6.2f} MB/s (offered 3.50)")
+    print(f"write-rate stddev     : {std:6.3f} MB/s")
+    print(f"Sys Write             : {result.sys_write_mean_mbs:6.2f} MB/s")
+    print(f"software write amp    : {stats.software_write_amplification:6.2f}x")
+    print(f"total write amp       : {stats.total_write_amplification:6.2f}x")
+    print(f"peak disk occupancy   : {peak_disk / 2**20:6.1f} MB")
+    print(f"simulated wall time   : {result.elapsed_s:6.1f} s")
+    return mean
+
+
+def main() -> None:
+    qindb = QinDB.with_capacity(
+        DEVICE,
+        config=QinDBConfig(
+            segment_bytes=2 * 1024 * 1024, gc_defer_min_free_blocks=96
+        ),
+        timing=TIMING,
+    )
+    lsm = LSMEngine.with_capacity(
+        DEVICE,
+        config=LSMConfig(
+            memtable_bytes=512 * 1024,
+            level1_max_bytes=1024 * 1024,
+            max_file_bytes=128 * 1024,
+        ),
+        timing=TIMING,
+    )
+    q_rate = run(qindb, "QinDB (memtable + AOFs + lazy GC)")
+    l_rate = run(lsm, "LevelDB-shaped LSM baseline")
+    print(f"\n=> QinDB sustains {q_rate / l_rate:.1f}x the LSM's write "
+          f"throughput on this device (paper: ~3x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Gray release: one data center goes first (paper Section 3).
+
+A new index version activates at a single data center, serves realistic
+queries there, and is promoted fleet-wide only if the observed
+inconsistency / error / latency gates pass.  This script walks one
+successful promotion and one forced rollback, showing the per-DC serving
+versions at each step and the cross-region inconsistency model.
+
+Run:  python examples/gray_release_rollout.py
+"""
+
+from repro.core.release import (
+    GrayObservation,
+    GrayRelease,
+    ReleasePhase,
+    ReleaseThresholds,
+    estimate_inconsistency,
+)
+
+DCS = [
+    "north-dc1", "north-dc2",
+    "east-dc1", "east-dc2",
+    "south-dc1", "south-dc2",
+]
+
+
+def show(release: GrayRelease, label: str) -> None:
+    print(f"\n[{label}] phase={release.phase.value}")
+    for dc, version in sorted(release.serving.items()):
+        marker = " <- gray" if dc == release.gray_dc else ""
+        print(f"   {dc}: v{version}{marker}")
+
+
+def main() -> None:
+    # --- a healthy release -------------------------------------------------
+    release = GrayRelease("north-dc1", ReleaseThresholds())
+    release.start(version=8, data_centers=DCS, previous=7)
+    show(release, "gray window open: only north-dc1 serves v8")
+
+    # ~70% of entries identical between v7 and v8; a small share of users
+    # roam across regions during the window.
+    inconsistency = estimate_inconsistency(
+        duplicate_ratio=0.70, cross_region_share=0.007
+    )
+    observation = GrayObservation(
+        inconsistency_rate=inconsistency,
+        error_rate=0.0001,
+        p99_latency_s=0.012,
+    )
+    print(f"\nobserved inconsistency: {inconsistency * 100:.4f}% "
+          f"(gate: 0.1000%)")
+    if release.observe(observation):
+        release.promote()
+    show(release, "gates passed: v8 active fleet-wide")
+    assert release.phase is ReleasePhase.ACTIVE
+
+    # --- a bad release -----------------------------------------------------
+    release = GrayRelease("north-dc1")
+    release.start(version=9, data_centers=DCS, previous=8)
+    show(release, "gray window open for v9")
+    # The new version long-tails: p99 breaches the 500 ms query SLO.
+    bad = GrayObservation(
+        inconsistency_rate=0.0002, error_rate=0.0, p99_latency_s=0.9
+    )
+    print("\nobserved p99 latency 900 ms (gate: 500 ms) -> rolling back")
+    if not release.observe(bad):
+        release.rollback()
+    show(release, "rolled back: every DC on v8 again")
+    assert release.phase is ReleasePhase.ROLLED_BACK
+
+
+if __name__ == "__main__":
+    main()

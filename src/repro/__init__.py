@@ -1,0 +1,63 @@
+"""DirectLoad reproduction — a fast web-scale index system, in simulation.
+
+A from-scratch Python implementation of the system described in
+
+    An Qin, Mengbai Xiao, Jin Ma, Dai Tan, Rubao Lee, Xiaodong Zhang.
+    "DirectLoad: A Fast Web-scale Index System across Large Regional
+    Centers."  ICDE 2019.
+
+Layers (bottom up):
+
+* :mod:`repro.simulation` — deterministic discrete-event kernel;
+* :mod:`repro.ssd` — page/block-accurate SSD with FTL and native paths;
+* :mod:`repro.qindb` — the paper's storage engine (memtable + AOFs +
+  lazy GC);
+* :mod:`repro.lsm` — the LevelDB-shaped baseline;
+* :mod:`repro.indexing` — synthetic corpus, crawler, index builders;
+* :mod:`repro.bifrost` — dedup + sliced delivery over the backbone;
+* :mod:`repro.mint` — hash-grouped, replicated per-DC storage;
+* :mod:`repro.core` — the DirectLoad orchestrator, versions, gray
+  release, metrics;
+* :mod:`repro.workloads`, :mod:`repro.analysis` — experiment harnesses.
+
+Quickstart::
+
+    from repro import QinDB
+    db = QinDB.with_capacity(256 * 1024 * 1024)
+    db.put(b"url", 1, b"value")
+    db.put(b"url", 2, None)        # deduplicated: value unchanged
+    assert db.get(b"url", 2) == b"value"   # resolved by traceback
+"""
+
+from repro.bifrost import BifrostTransport, Deduplicator, Slicer
+from repro.core import DirectLoad, DirectLoadConfig
+from repro.errors import ReproError
+from repro.indexing import IndexBuildPipeline, SyntheticWebCorpus
+from repro.lsm import LSMConfig, LSMEngine
+from repro.mint import MintCluster, MintConfig
+from repro.qindb import QinDB, QinDBConfig
+from repro.simulation import Simulator
+from repro.ssd import SimulatedSSD, SSDGeometry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BifrostTransport",
+    "Deduplicator",
+    "DirectLoad",
+    "DirectLoadConfig",
+    "IndexBuildPipeline",
+    "LSMConfig",
+    "LSMEngine",
+    "MintCluster",
+    "MintConfig",
+    "QinDB",
+    "QinDBConfig",
+    "ReproError",
+    "SSDGeometry",
+    "SimulatedSSD",
+    "Simulator",
+    "Slicer",
+    "SyntheticWebCorpus",
+    "__version__",
+]

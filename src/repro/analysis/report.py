@@ -1,0 +1,194 @@
+"""A self-contained experiment report generator.
+
+``python -m repro report`` runs quick-scale versions of the headline
+experiments and writes a markdown report with paper-vs-measured rows —
+the artifact a reviewer or downstream user wants first, without waiting
+for the full benchmark suite.
+
+Each section reuses the exact library code the benchmarks drive; only
+the scales differ (documented per section).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.stats import pearson_correlation
+
+
+@dataclass
+class ReportRow:
+    """One claim: what the paper says vs what this run measured."""
+
+    claim: str
+    paper: str
+    measured: str
+    holds: bool
+
+
+def _write_amplification_rows() -> List[ReportRow]:
+    from repro.lsm.engine import LSMConfig, LSMEngine
+    from repro.qindb.engine import QinDB, QinDBConfig
+    from repro.ssd.timing import TimingModel
+    from repro.workloads.fig5 import Fig5Workload, Fig5WorkloadConfig
+    from repro.workloads.kvtrace import replay_trace
+
+    timing = TimingModel(
+        page_read_s=80e-6, page_write_s=400e-6, block_erase_s=2e-3,
+        channel_parallelism=1,
+    )
+    workload = Fig5WorkloadConfig(
+        key_count=192, value_bytes_mean=16 * 1024, versions=10,
+        retained_versions=4,
+    )
+    results = {}
+    for name, engine in (
+        ("qindb", QinDB.with_capacity(
+            64 * 1024 * 1024,
+            config=QinDBConfig(segment_bytes=2 * 1024 * 1024),
+            timing=timing,
+        )),
+        ("lsm", LSMEngine.with_capacity(
+            64 * 1024 * 1024,
+            config=LSMConfig(
+                memtable_bytes=512 * 1024,
+                level1_max_bytes=1024 * 1024,
+                max_file_bytes=128 * 1024,
+            ),
+            timing=timing,
+        )),
+    ):
+        results[name] = replay_trace(
+            engine, Fig5Workload(workload).ops(),
+            sample_interval_s=0.5, pace_user_bytes_per_s=3.5 * 1024 * 1024,
+        )
+    q_wa = results["qindb"].final_stats.total_write_amplification
+    l_wa = results["lsm"].final_stats.total_write_amplification
+    throughput_gain = (
+        results["qindb"].user_write_mean_mbs / results["lsm"].user_write_mean_mbs
+    )
+    return [
+        ReportRow(
+            "QinDB write amplification <= 2.5x",
+            "<= 2.5x",
+            f"{q_wa:.2f}x",
+            q_wa <= 2.5,
+        ),
+        ReportRow(
+            "LSM write amplification is many-fold QinDB's",
+            "20-25x vs <= 2.5x",
+            f"{l_wa:.1f}x vs {q_wa:.2f}x",
+            l_wa > 3 * q_wa,
+        ),
+        ReportRow(
+            "sustained write throughput improved ~3x",
+            "3.5 vs 1.5 MB/s",
+            f"{results['qindb'].user_write_mean_mbs:.2f} vs "
+            f"{results['lsm'].user_write_mean_mbs:.2f} MB/s "
+            f"({throughput_gain:.1f}x)",
+            throughput_gain > 2.0,
+        ),
+    ]
+
+
+def _dedup_rows(days: int = 8) -> List[ReportRow]:
+    from repro.bifrost.channels import TopologyConfig
+    from repro.core.config import DirectLoadConfig
+    from repro.core.directload import DirectLoad
+    from repro.mint.cluster import MintConfig
+    from repro.workloads.month import MonthlyTrace, MonthlyTraceConfig
+
+    system = DirectLoad(
+        DirectLoadConfig(
+            doc_count=100,
+            vocabulary_size=400,
+            doc_length=24,
+            summary_value_bytes=2048,
+            forward_value_bytes=512,
+            slice_bytes=32 * 1024,
+            generation_window_s=4.0,
+            topology=TopologyConfig(backbone_bps=100_000.0),
+            mint=MintConfig(
+                group_count=1, nodes_per_group=3,
+                node_capacity_bytes=48 * 1024 * 1024,
+            ),
+        )
+    )
+    system.run_update_cycle()
+    # The paper's 63% saving is at its typical ~70% duplicate ratio:
+    # measure the saving there (mutation 0.3), then run the monthly
+    # schedule — whose dedup ratio *varies* by design — for correlation.
+    typical_savings = [
+        system.run_update_cycle(mutation_rate=0.3).bandwidth_saving_ratio
+        for _ in range(3)
+    ]
+    ratios, times = [], []
+    for day in MonthlyTrace(MonthlyTraceConfig(days=days)).days():
+        report = system.run_update_cycle(mutation_rate=day.mutation_rate)
+        ratios.append(report.dedup_ratio)
+        times.append(report.update_time_s)
+    correlation = pearson_correlation(ratios, times)
+    mean_saving = sum(typical_savings) / len(typical_savings)
+    return [
+        ReportRow(
+            "bandwidth saved by deduplication at ~70% duplicates",
+            "63%",
+            f"{mean_saving * 100:.0f}% (mean over {len(typical_savings)} versions)",
+            0.40 < mean_saving < 0.85,
+        ),
+        ReportRow(
+            "update time anti-correlates with dedup ratio",
+            "strongly negative",
+            f"Pearson r = {correlation:.3f}",
+            correlation < -0.6,
+        ),
+        ReportRow(
+            "cross-region inconsistency under 0.1%",
+            "< 0.1%",
+            f"max {max(r.inconsistency_rate for r in system.reports) * 100:.4f}%",
+            max(r.inconsistency_rate for r in system.reports) < 0.001,
+        ),
+    ]
+
+
+def generate_report(days: int = 8) -> str:
+    """Run the quick experiments and render the markdown report."""
+    sections = [
+        ("Storage engine (Figure 5 headline)", _write_amplification_rows()),
+        ("Delivery pipeline (Figures 9/10 headline)", _dedup_rows(days)),
+    ]
+    lines = [
+        "# DirectLoad reproduction — quick report",
+        "",
+        "Quick-scale runs of the headline experiments (see EXPERIMENTS.md",
+        "for the full benchmark-suite numbers).  Deterministic: reruns",
+        "produce identical values.",
+        "",
+    ]
+    all_hold = True
+    for title, rows in sections:
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("| claim | paper | measured | holds |")
+        lines.append("|---|---|---|---|")
+        for row in rows:
+            mark = "yes" if row.holds else "NO"
+            all_hold = all_hold and row.holds
+            lines.append(
+                f"| {row.claim} | {row.paper} | {row.measured} | {mark} |"
+            )
+        lines.append("")
+    lines.append(
+        "All claims hold." if all_hold else "SOME CLAIMS DID NOT HOLD."
+    )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(path: str, days: int = 8) -> bool:
+    """Generate and write the report; returns True if all claims held."""
+    content = generate_report(days)
+    with open(path, "w") as handle:
+        handle.write(content)
+    return "SOME CLAIMS" not in content

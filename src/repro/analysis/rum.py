@@ -1,0 +1,82 @@
+"""RUM-conjecture accounting (paper Section 5).
+
+The RUM conjecture (Athanassoulis et al., EDBT 2016): a storage design
+optimizing any two of Read latency, Update cost, and Memory/storage
+overhead pays for it in the third.  The paper positions QinDB as
+optimizing R (in-memory sorted index + one SSD access) and U (pure
+appends), spending M (lazy GC retains dead data longer; the whole key
+index lives in RAM).
+
+``rum_profile`` extracts the three coordinates from a loaded engine plus
+measured read latencies, so the bench can print the QinDB-vs-LSM RUM
+table and assert the paper's trade direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import PercentileTracker
+from repro.lsm.engine import LSMEngine, LSMStats
+from repro.qindb.engine import QinDB, QinDBStats
+
+
+@dataclass(frozen=True)
+class RUMProfile:
+    """One engine's position in RUM space."""
+
+    engine: str
+    # R: read cost
+    read_latency_avg_s: float
+    read_latency_p99_s: float
+    # U: update cost
+    write_amplification: float
+    update_bytes_per_user_byte: float
+    # M: memory + storage overhead
+    memory_bytes: int
+    storage_bytes: int
+    live_user_bytes: int
+
+    @property
+    def storage_overhead(self) -> float:
+        """Storage used per live user byte (>= 1 in steady state)."""
+        if self.live_user_bytes == 0:
+            return 1.0
+        return self.storage_bytes / self.live_user_bytes
+
+
+def rum_profile(
+    engine,
+    read_latencies: PercentileTracker,
+    live_user_bytes: int,
+) -> RUMProfile:
+    """Build the RUM coordinates for one engine after a workload."""
+    stats = engine.stats()
+    if isinstance(engine, QinDB):
+        assert isinstance(stats, QinDBStats)
+        name = "QinDB"
+        memory = stats.memtable_bytes
+    else:
+        assert isinstance(engine, LSMEngine)
+        assert isinstance(stats, LSMStats)
+        name = "LSM"
+        # Sparse indexes + blooms of every table, plus the memtable.
+        memory = sum(
+            table.index_memory_bytes
+            for level in range(engine.levels.max_levels)
+            for table in engine.levels.level(level)
+        )
+    return RUMProfile(
+        engine=name,
+        read_latency_avg_s=read_latencies.mean,
+        read_latency_p99_s=read_latencies.percentile(99.0),
+        write_amplification=stats.software_write_amplification,
+        update_bytes_per_user_byte=(
+            stats.device_total_bytes_written / stats.user_bytes_written
+            if stats.user_bytes_written
+            else 1.0
+        ),
+        memory_bytes=memory,
+        storage_bytes=stats.disk_used_bytes,
+        live_user_bytes=live_user_bytes,
+    )

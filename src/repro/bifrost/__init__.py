@@ -1,0 +1,42 @@
+"""Bifrost: versioned index delivery to regional data centers.
+
+The delivery pipeline (paper Section 2.2):
+
+1. :class:`Deduplicator` compares every entry's value signature against
+   the previous version and strips unchanged values — only the key (and
+   version) travels, cutting up to 63% of the bandwidth;
+2. the :class:`Slicer` packs entries into checksummed slices;
+3. the :class:`StreamScheduler` spreads slices of each stream over the
+   generation window, and each backbone link reserves 40% of its
+   bandwidth for summary slices and 60% for inverted+forward slices;
+4. :class:`BifrostTransport` moves slices through the regional relay
+   groups over a discrete-event network, re-verifying checksums at every
+   hop, retransmitting corrupted slices, re-routing around congested
+   backbone channels using the :class:`NetworkMonitor`'s bandwidth
+   predictions, and recording arrival times for the miss-ratio SLO.
+"""
+
+from repro.bifrost.channels import Topology, TopologyConfig, build_topology
+from repro.bifrost.dedup import Deduplicator, DedupResult
+from repro.bifrost.monitor import NetworkMonitor
+from repro.bifrost.scheduler import StreamScheduler
+from repro.bifrost.signature import checksum, signature
+from repro.bifrost.slices import Slice, Slicer
+from repro.bifrost.transport import BifrostTransport, DeliveryReport, TransportConfig
+
+__all__ = [
+    "BifrostTransport",
+    "DedupResult",
+    "Deduplicator",
+    "DeliveryReport",
+    "NetworkMonitor",
+    "Slice",
+    "Slicer",
+    "StreamScheduler",
+    "Topology",
+    "TopologyConfig",
+    "TransportConfig",
+    "build_topology",
+    "checksum",
+    "signature",
+]

@@ -1,0 +1,170 @@
+"""Network topology: the build DC, three regions, six data centers.
+
+Mirrors the paper's deployment: data center #0 builds indices; three
+regional relay groups (North, East, South China) each serve two data
+centers.  Backbone links connect the origin to every region and every
+pair of regions (re-routing through a third region is possible); intra-
+region links connect a relay group to its data centers.
+
+Every backbone link is split into *reserved* sub-links: 40% of bandwidth
+for summary-index slices, 60% for inverted(+forward) slices — the paper's
+empirical reservation that keeps both streams moving so the relay nodes'
+general-purpose resource manager never revokes an idle allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError, RoutingError
+from repro.indexing.types import IndexKind
+from repro.simulation.kernel import Simulator
+from repro.simulation.pipes import Link
+from repro.simulation.resources import Resource
+
+ORIGIN = "origin"
+
+#: stream names for the bandwidth reservation
+SUMMARY_STREAM = "summary"
+INVERTED_STREAM = "inverted"
+
+DEFAULT_RESERVATION = {SUMMARY_STREAM: 0.4, INVERTED_STREAM: 0.6}
+
+
+def stream_of(kind: IndexKind) -> str:
+    """Which reserved stream carries entries of this kind.
+
+    Forward indices travel combined with inverted indices (the paper's
+    blue arrows), so both share the 60% reservation.
+    """
+    return SUMMARY_STREAM if kind is IndexKind.SUMMARY else INVERTED_STREAM
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Bandwidths, latencies, and fan-out of the delivery network."""
+
+    regions: Tuple[str, ...] = ("north", "east", "south")
+    dcs_per_region: int = 2
+    #: one data center per region also stores summary indices
+    summary_dcs_per_region: int = 1
+    backbone_bps: float = 1e9  # 1 Gbps, the paper's testbed NICs
+    intra_bps: float = 10e9
+    backbone_latency_s: float = 0.02
+    intra_latency_s: float = 0.002
+    relay_nodes_per_group: int = 24  # paper: 20-30 per relay group
+    stat_bucket_s: float = 60.0
+    reservation: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_RESERVATION)
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.regions) < 1:
+            raise ConfigError("need at least one region")
+        if self.dcs_per_region < 1:
+            raise ConfigError("need at least one data center per region")
+        if self.summary_dcs_per_region > self.dcs_per_region:
+            raise ConfigError("more summary DCs than DCs in a region")
+        if min(self.backbone_bps, self.intra_bps) <= 0:
+            raise ConfigError("bandwidths must be positive")
+
+
+class Topology:
+    """Links between the origin, regions, and data centers."""
+
+    def __init__(self, sim: Simulator, config: TopologyConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self.regions: List[str] = list(config.regions)
+        self.data_centers: Dict[str, List[str]] = {}
+        self.summary_dcs: Dict[str, List[str]] = {}
+        #: physical backbone links, (src, dst) -> Link
+        self.backbone: Dict[Tuple[str, str], Link] = {}
+        #: reserved stream sub-links per backbone link
+        self.streams: Dict[Tuple[str, str], Dict[str, Link]] = {}
+        #: intra-region links, (region, dc) -> Link
+        self.intra: Dict[Tuple[str, str], Link] = {}
+        #: per-region relay work slots: the paper's 20-30 relay nodes
+        #: caching and forwarding; a slice holds one slot while its relay
+        #: group processes it, so a small group serializes heavy bursts
+        self.relay_slots: Dict[str, Resource] = {}
+        self._build()
+
+    def _build(self) -> None:
+        config = self.config
+        endpoints = [ORIGIN] + self.regions
+        for source in endpoints:
+            for destination in endpoints:
+                if source == destination:
+                    continue
+                link = Link(
+                    self.sim,
+                    config.backbone_bps,
+                    config.backbone_latency_s,
+                    name=f"{source}->{destination}",
+                    stat_bucket_s=config.stat_bucket_s,
+                )
+                self.backbone[(source, destination)] = link
+                self.streams[(source, destination)] = link.reserve(
+                    config.reservation
+                )
+        for region in self.regions:
+            self.relay_slots[region] = Resource(
+                self.sim, capacity=config.relay_nodes_per_group
+            )
+            dcs = [
+                f"{region}-dc{i + 1}" for i in range(config.dcs_per_region)
+            ]
+            self.data_centers[region] = dcs
+            self.summary_dcs[region] = dcs[: config.summary_dcs_per_region]
+            for dc in dcs:
+                self.intra[(region, dc)] = Link(
+                    self.sim,
+                    config.intra_bps,
+                    config.intra_latency_s,
+                    name=f"{region}->{dc}",
+                    stat_bucket_s=config.stat_bucket_s,
+                )
+
+    # ------------------------------------------------------------------
+    def all_data_centers(self) -> List[str]:
+        """Every data center, region by region."""
+        return [dc for region in self.regions for dc in self.data_centers[region]]
+
+    def stream_link(self, source: str, destination: str, stream: str) -> Link:
+        """The reserved sub-link for ``stream`` on a backbone hop."""
+        try:
+            return self.streams[(source, destination)][stream]
+        except KeyError:
+            raise RoutingError(
+                f"no {stream!r} stream on link {source}->{destination}"
+            ) from None
+
+    def intra_link(self, region: str, dc: str) -> Link:
+        try:
+            return self.intra[(region, dc)]
+        except KeyError:
+            raise RoutingError(f"no intra link {region}->{dc}") from None
+
+    def routes(self, destination_region: str) -> List[List[str]]:
+        """Candidate hop sequences from the origin to a region.
+
+        The direct backbone path plus one detour through each other
+        region (the paper's "circumvent the channels sustaining high
+        traffic").
+        """
+        if destination_region not in self.regions:
+            raise RoutingError(f"unknown region {destination_region!r}")
+        candidates = [[ORIGIN, destination_region]]
+        for via in self.regions:
+            if via != destination_region:
+                candidates.append([ORIGIN, via, destination_region])
+        return candidates
+
+
+def build_topology(
+    sim: Simulator, config: TopologyConfig | None = None
+) -> Topology:
+    """Construct the paper's deployment over a simulator."""
+    return Topology(sim, config or TopologyConfig())

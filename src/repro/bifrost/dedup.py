@@ -1,0 +1,96 @@
+"""Inter-version deduplication of index entries.
+
+"Only if the signature differs, a key-value pair is forwarded to the
+network transmission, otherwise the value field will be removed before
+delivery" (paper 2.2).  The deduplicator holds the previous version's
+signature per key; an unchanged entry is forwarded value-less and the
+destination store resolves it by traceback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.bifrost.signature import signature
+from repro.indexing.types import IndexDataset, IndexEntry, IndexKind
+
+
+@dataclass
+class DedupResult:
+    """The deduplicated dataset plus the savings accounting."""
+
+    dataset: IndexDataset
+    total_entries: int
+    deduplicated_entries: int
+    bytes_before: int
+    bytes_after: int
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of entries whose value was removed."""
+        if self.total_entries == 0:
+            return 0.0
+        return self.deduplicated_entries / self.total_entries
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.bytes_before - self.bytes_after
+
+    @property
+    def bandwidth_saving_ratio(self) -> float:
+        """Fraction of wire bytes removed (the paper's 63%)."""
+        if self.bytes_before == 0:
+            return 0.0
+        return self.bytes_saved / self.bytes_before
+
+
+class Deduplicator:
+    """Stateful per-key signature store spanning consecutive versions."""
+
+    def __init__(self) -> None:
+        self._signatures: Dict[Tuple[IndexKind, bytes], bytes] = {}
+
+    @property
+    def tracked_keys(self) -> int:
+        return len(self._signatures)
+
+    def process(self, dataset: IndexDataset) -> DedupResult:
+        """Strip values that are identical to the previous version's.
+
+        Updates the signature store to the current version as it goes, so
+        calling ``process`` version after version compares each version
+        against its immediate predecessor.
+        """
+        output = IndexDataset(version=dataset.version)
+        total = 0
+        deduplicated = 0
+        bytes_before = 0
+        bytes_after = 0
+        for kind in IndexKind:
+            for entry in dataset.of_kind(kind):
+                if entry.value is None:
+                    raise ValueError(
+                        "deduplicator input must carry values "
+                        f"(key {entry.key!r} has none)"
+                    )
+                total += 1
+                bytes_before += entry.wire_bytes
+                store_key = (kind, entry.key)
+                current_signature = signature(entry.value)
+                if self._signatures.get(store_key) == current_signature:
+                    stripped = entry.deduplicated()
+                    output.add(stripped)
+                    deduplicated += 1
+                    bytes_after += stripped.wire_bytes
+                else:
+                    output.add(entry)
+                    bytes_after += entry.wire_bytes
+                self._signatures[store_key] = current_signature
+        return DedupResult(
+            dataset=output,
+            total_entries=total,
+            deduplicated_entries=deduplicated,
+            bytes_before=bytes_before,
+            bytes_after=bytes_after,
+        )

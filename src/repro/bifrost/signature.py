@@ -1,0 +1,24 @@
+"""Value signatures and slice checksums.
+
+Deduplication compares *signatures* of index values between consecutive
+versions (paper 2.2) — a keyed 16-byte BLAKE2b digest here, collision
+probability negligible at web scale.  Slice integrity in transit uses
+CRC32, recomputed at every relay hop (paper Section 3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+
+SIGNATURE_BYTES = 16
+
+
+def signature(value: bytes) -> bytes:
+    """16-byte content signature used for inter-version deduplication."""
+    return hashlib.blake2b(value, digest_size=SIGNATURE_BYTES).digest()
+
+
+def checksum(payload: bytes) -> int:
+    """CRC32 integrity checksum carried alongside each slice."""
+    return zlib.crc32(payload) & 0xFFFFFFFF

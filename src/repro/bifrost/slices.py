@@ -1,0 +1,242 @@
+"""Slices: the unit of index transmission.
+
+The build data center "keeps sending slices of index data in GBs every
+hour"; a slice here is a checksummed batch of entries of one index kind.
+The serialization is deterministic, the CRC is computed over the payload,
+and intermediate relay nodes re-verify it (paper Section 3, "Failures in
+Transmission").
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from repro.bifrost.signature import checksum
+from repro.errors import ChecksumMismatchError, ConfigError
+from repro.indexing.types import IndexDataset, IndexEntry, IndexKind
+
+_ENTRY_HEADER = struct.Struct("<HlB")  # key_len, value_len (-1 = dedup), kind
+
+
+def serialize_entries(entries: List[IndexEntry]) -> bytes:
+    """Deterministic wire encoding of a slice's entries."""
+    parts: List[bytes] = []
+    kinds = list(IndexKind)
+    for entry in entries:
+        value = entry.value
+        parts.append(
+            _ENTRY_HEADER.pack(
+                len(entry.key),
+                -1 if value is None else len(value),
+                kinds.index(entry.kind),
+            )
+        )
+        parts.append(entry.key)
+        if value is not None:
+            parts.append(value)
+    return b"".join(parts)
+
+
+def deserialize_entries(payload: bytes) -> Iterator[IndexEntry]:
+    """Decode the wire encoding back into entries."""
+    kinds = list(IndexKind)
+    offset = 0
+    while offset < len(payload):
+        key_len, value_len, kind_index = _ENTRY_HEADER.unpack_from(payload, offset)
+        offset += _ENTRY_HEADER.size
+        key = payload[offset : offset + key_len]
+        offset += key_len
+        if value_len < 0:
+            value = None
+        else:
+            value = payload[offset : offset + value_len]
+            offset += value_len
+        yield IndexEntry(kinds[kind_index], bytes(key), value)
+
+
+@dataclass
+class Slice:
+    """One transmission unit: entries of a single kind, checksummed.
+
+    A *delta* slice (``is_delta=True``) carries the chunk-level wire
+    encoding from :mod:`repro.bifrost.chunking` instead of full values;
+    the destination reassembles against its chunk store via
+    :meth:`delta_items`.
+    """
+
+    slice_id: str
+    version: int
+    kind: IndexKind
+    entries: List[IndexEntry]
+    payload: bytes
+    crc: int
+    #: simulated time the slice becomes available at the build DC
+    available_at: float = 0.0
+    is_delta: bool = False
+    _corrupted: bool = field(default=False, repr=False)
+
+    @classmethod
+    def pack(
+        cls,
+        slice_id: str,
+        version: int,
+        kind: IndexKind,
+        entries: List[IndexEntry],
+        available_at: float = 0.0,
+    ) -> "Slice":
+        payload = serialize_entries(entries)
+        return cls(
+            slice_id=slice_id,
+            version=version,
+            kind=kind,
+            entries=entries,
+            payload=payload,
+            crc=checksum(payload),
+            available_at=available_at,
+        )
+
+    @classmethod
+    def pack_delta(
+        cls,
+        slice_id: str,
+        version: int,
+        kind: IndexKind,
+        entries: List[IndexEntry],
+        encodings,
+        available_at: float = 0.0,
+    ) -> "Slice":
+        """Pack entries as the chunk-delta wire format.
+
+        ``encodings`` maps ``(kind, key)`` to the
+        :class:`~repro.bifrost.chunking.DeltaEncodedValue` for every
+        entry that carries a value; value-less entries ship as unchanged
+        markers.
+        """
+        from repro.bifrost.chunking import serialize_delta_entries
+
+        payload = serialize_delta_entries(entries, encodings)
+        return cls(
+            slice_id=slice_id,
+            version=version,
+            kind=kind,
+            entries=entries,
+            payload=payload,
+            crc=checksum(payload),
+            available_at=available_at,
+            is_delta=True,
+        )
+
+    def delta_items(self):
+        """Decode a delta slice's wire payload: (kind, key, encoding)."""
+        from repro.bifrost.chunking import deserialize_delta_entries
+
+        if not self.is_delta:
+            raise ConfigError(f"slice {self.slice_id} is not delta-encoded")
+        return deserialize_delta_entries(self.payload)
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the slice."""
+        return len(self.payload) + 64  # slice header + checksum framing
+
+    def verify(self) -> None:
+        """Recompute the checksum; raises on mismatch (a relay's job)."""
+        if self._corrupted or checksum(self.payload) != self.crc:
+            raise ChecksumMismatchError(f"slice {self.slice_id} failed its CRC")
+
+    def corrupt(self) -> None:
+        """Failure injection: the payload was damaged in transit."""
+        self._corrupted = True
+
+    def clean_copy(self) -> "Slice":
+        """A pristine retransmission of this slice from the source."""
+        return Slice(
+            slice_id=self.slice_id,
+            version=self.version,
+            kind=self.kind,
+            entries=self.entries,
+            payload=self.payload,
+            crc=self.crc,
+            available_at=self.available_at,
+            is_delta=self.is_delta,
+        )
+
+
+class Slicer:
+    """Packs a dataset's entries into bounded-size slices per kind."""
+
+    def __init__(self, target_slice_bytes: int = 4 * 1024 * 1024) -> None:
+        if target_slice_bytes < 1024:
+            raise ConfigError(
+                f"target_slice_bytes too small: {target_slice_bytes}"
+            )
+        self.target_slice_bytes = target_slice_bytes
+
+    def make_slices(self, dataset: IndexDataset) -> List[Slice]:
+        """Split each kind's entries into slices of ~target size."""
+        slices: List[Slice] = []
+        for kind in IndexKind:
+            batch: List[IndexEntry] = []
+            batch_bytes = 0
+            sequence = 0
+            for entry in dataset.of_kind(kind):
+                batch.append(entry)
+                batch_bytes += entry.wire_bytes
+                if batch_bytes >= self.target_slice_bytes:
+                    slices.append(
+                        self._pack(dataset.version, kind, sequence, batch)
+                    )
+                    batch, batch_bytes = [], 0
+                    sequence += 1
+            if batch:
+                slices.append(self._pack(dataset.version, kind, sequence, batch))
+        return slices
+
+    def _pack(
+        self,
+        version: int,
+        kind: IndexKind,
+        sequence: int,
+        entries: List[IndexEntry],
+    ) -> Slice:
+        slice_id = f"v{version}-{kind.value}-{sequence:05d}"
+        return Slice.pack(slice_id, version, kind, list(entries))
+
+    def make_delta_slices(self, dataset: IndexDataset, encodings) -> List[Slice]:
+        """Split a dataset into delta-encoded slices of ~target size.
+
+        ``encodings`` is the :class:`~repro.bifrost.chunking`
+        ``(kind, key) -> DeltaEncodedValue`` map; batch sizes follow the
+        *wire* bytes of the delta stream, not the full values.
+        """
+        slices: List[Slice] = []
+        for kind in IndexKind:
+            batch: List[IndexEntry] = []
+            batch_bytes = 0
+            sequence = 0
+            for entry in dataset.of_kind(kind):
+                if entry.value is None:
+                    wire = entry.key_bytes + 16
+                else:
+                    wire = entry.key_bytes + encodings[(kind, entry.key)].wire_bytes
+                batch.append(entry)
+                batch_bytes += wire
+                if batch_bytes >= self.target_slice_bytes:
+                    slice_id = f"v{dataset.version}-{kind.value}-{sequence:05d}"
+                    slices.append(
+                        Slice.pack_delta(
+                            slice_id, dataset.version, kind, batch, encodings
+                        )
+                    )
+                    batch, batch_bytes = [], 0
+                    sequence += 1
+            if batch:
+                slice_id = f"v{dataset.version}-{kind.value}-{sequence:05d}"
+                slices.append(
+                    Slice.pack_delta(
+                        slice_id, dataset.version, kind, batch, encodings
+                    )
+                )
+        return slices

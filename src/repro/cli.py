@@ -1,0 +1,217 @@
+"""Command-line interface: quick, scaled runs of the key experiments.
+
+Usage::
+
+    python -m repro demo            # QinDB semantics walkthrough
+    python -m repro fig5            # engine write-amplification comparison
+    python -m repro fig9 --days 10  # dedup-vs-update-time mini month
+    python -m repro dedup-sweep     # bandwidth saving across dup ratios
+
+Each subcommand is a smaller sibling of the corresponding benchmark in
+``benchmarks/`` — same code paths, friendlier runtimes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import render_table
+
+
+def _cmd_demo(_args) -> int:
+    from repro.qindb.engine import QinDB
+
+    db = QinDB.with_capacity(64 * 1024 * 1024)
+    db.put(b"url", 1, b"version-1 terms")
+    db.put(b"url", 2, None)
+    db.put(b"url", 3, b"version-3 terms")
+    db.delete(b"url", 1)
+    rows = [
+        ["GET url/3", db.get(b"url", 3).decode()],
+        ["GET url/2 (deduplicated)", db.get(b"url", 2).decode()],
+        ["GET url/1 (deleted)", "KeyNotFoundError"],
+    ]
+    print(render_table(["operation", "result"], rows))
+    stats = db.stats()
+    print(
+        f"\nsoftware WA {stats.software_write_amplification:.2f}x, "
+        f"hardware WA {stats.hardware_write_amplification:.2f}x, "
+        f"{stats.memtable_items} memtable items"
+    )
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    from repro.lsm.engine import LSMConfig, LSMEngine
+    from repro.qindb.engine import QinDB, QinDBConfig
+    from repro.ssd.timing import TimingModel
+    from repro.workloads.fig5 import Fig5Workload, Fig5WorkloadConfig
+    from repro.workloads.kvtrace import replay_trace
+
+    timing = TimingModel(
+        page_read_s=80e-6, page_write_s=400e-6, block_erase_s=2e-3,
+        channel_parallelism=1,
+    )
+    workload_config = Fig5WorkloadConfig(
+        key_count=args.keys, value_bytes_mean=8 * 1024, versions=8,
+        retained_versions=4,
+    )
+    rows = []
+    for name, engine in (
+        (
+            "QinDB",
+            QinDB.with_capacity(
+                64 * 1024 * 1024,
+                config=QinDBConfig(segment_bytes=2 * 1024 * 1024),
+                timing=timing,
+            ),
+        ),
+        (
+            "LSM",
+            LSMEngine.with_capacity(
+                64 * 1024 * 1024,
+                config=LSMConfig(
+                    memtable_bytes=512 * 1024,
+                    level1_max_bytes=1024 * 1024,
+                    max_file_bytes=128 * 1024,
+                ),
+                timing=timing,
+            ),
+        ),
+    ):
+        result = replay_trace(
+            engine,
+            Fig5Workload(workload_config).ops(),
+            sample_interval_s=0.5,
+            pace_user_bytes_per_s=3.5 * 1024 * 1024,
+        )
+        stats = result.final_stats
+        rows.append(
+            [
+                name,
+                f"{result.user_write_mean_mbs:.2f}",
+                f"{result.sys_write_mean_mbs:.2f}",
+                f"{stats.software_write_amplification:.2f}x",
+                f"{stats.total_write_amplification:.2f}x",
+            ]
+        )
+    print(
+        render_table(
+            ["engine", "user MB/s", "sys MB/s", "software WA", "total WA"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_fig9(args) -> int:
+    from repro.analysis.stats import pearson_correlation
+    from repro.bifrost.channels import TopologyConfig
+    from repro.core.config import DirectLoadConfig
+    from repro.core.directload import DirectLoad
+    from repro.mint.cluster import MintConfig
+    from repro.workloads.month import MonthlyTrace, MonthlyTraceConfig
+
+    system = DirectLoad(
+        DirectLoadConfig(
+            doc_count=80,
+            vocabulary_size=300,
+            doc_length=20,
+            summary_value_bytes=1024,
+            forward_value_bytes=256,
+            slice_bytes=32 * 1024,
+            generation_window_s=5.0,
+            topology=TopologyConfig(backbone_bps=100_000.0),
+            mint=MintConfig(
+                group_count=1, nodes_per_group=3,
+                node_capacity_bytes=64 * 1024 * 1024,
+            ),
+        )
+    )
+    system.run_update_cycle()
+    rows = []
+    ratios, times = [], []
+    for day in MonthlyTrace(MonthlyTraceConfig(days=args.days)).days():
+        report = system.run_update_cycle(mutation_rate=day.mutation_rate)
+        ratios.append(report.dedup_ratio)
+        times.append(report.update_time_s)
+        rows.append(
+            [day.day, f"{report.dedup_ratio * 100:.0f}%",
+             f"{report.update_time_s:.1f}s"]
+        )
+    print(render_table(["day", "dedup", "update time"], rows))
+    print(f"\nPearson r = {pearson_correlation(ratios, times):.3f}")
+    return 0
+
+
+def _cmd_dedup_sweep(_args) -> int:
+    from repro.bifrost.dedup import Deduplicator
+    from repro.indexing.types import IndexDataset, IndexEntry, IndexKind
+    from repro.workloads.kvtrace import make_value
+
+    rows = []
+    for ratio in (0.0, 0.3, 0.5, 0.7, 0.9):
+        deduplicator = Deduplicator()
+        for version in (1, 2):
+            dataset = IndexDataset(version=version)
+            unchanged = int(200 * ratio)
+            for index in range(200):
+                key = f"k{index:04d}".encode()
+                source = 1 if (version == 1 or index < unchanged) else version
+                dataset.add(
+                    IndexEntry(IndexKind.FORWARD, key, make_value(key, source, 2048))
+                )
+            result = deduplicator.process(dataset)
+        rows.append(
+            [f"{ratio:.0%}", f"{result.dedup_ratio:.0%}",
+             f"{result.bandwidth_saving_ratio:.0%}"]
+        )
+    print(render_table(["duplicates", "dedup ratio", "bandwidth saved"], rows))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import write_report
+
+    all_hold = write_report(args.output, days=args.days)
+    print(f"wrote {args.output}")
+    return 0 if all_hold else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DirectLoad reproduction experiments"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="QinDB semantics walkthrough")
+
+    fig5 = commands.add_parser("fig5", help="engine write-amplification comparison")
+    fig5.add_argument("--keys", type=int, default=128)
+
+    fig9 = commands.add_parser("fig9", help="dedup vs update time mini-month")
+    fig9.add_argument("--days", type=int, default=10)
+
+    commands.add_parser("dedup-sweep", help="bandwidth saving across dup ratios")
+
+    report = commands.add_parser(
+        "report", help="write a paper-vs-measured markdown report"
+    )
+    report.add_argument("--output", default="REPORT.md")
+    report.add_argument("--days", type=int, default=8)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "fig5": _cmd_fig5,
+        "fig9": _cmd_fig9,
+        "dedup-sweep": _cmd_dedup_sweep,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,311 @@
+"""The DirectLoad system: build -> dedup -> deliver -> store -> release.
+
+One :class:`DirectLoad` instance stands up the entire paper in simulation:
+the build data center's pipeline, Bifrost (dedup + slicing + scheduled
+transmission over the monitored backbone), a Mint cluster in each of the
+six data centers, bounded version retention with oldest-version deletion,
+and a gray release gate in front of fleet-wide activation.
+
+:meth:`DirectLoad.run_update_cycle` performs one full version update and
+returns the cycle's report — the unit every Figure 9/10 experiment sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bifrost.channels import build_topology
+from repro.bifrost.chunking import ChunkedDeduplicator
+from repro.bifrost.dedup import Deduplicator, DedupResult
+from repro.bifrost.monitor import NetworkMonitor
+from repro.bifrost.scheduler import StreamScheduler
+from repro.bifrost.slices import Slicer
+from repro.bifrost.transport import BifrostTransport, DeliveryReport
+from repro.core.config import DirectLoadConfig
+from repro.core.release import (
+    GrayObservation,
+    GrayRelease,
+    estimate_inconsistency,
+)
+from repro.core.version import VersionManager
+from repro.errors import KeyNotFoundError, ReproError
+from repro.indexing.builders import IndexBuildPipeline, PipelineConfig
+from repro.indexing.corpus import SyntheticWebCorpus
+from repro.indexing.types import IndexKind
+from repro.indexing.vocabulary import ZipfVocabulary
+from repro.lsm.engine import LSMConfig, LSMEngine
+from repro.mint.cluster import MintCluster
+from repro.qindb.engine import QinDB, QinDBConfig
+from repro.simulation.kernel import Simulator
+
+
+@dataclass
+class UpdateCycleReport:
+    """Everything one version's update produced."""
+
+    version: int
+    entries_built: int
+    dedup_ratio: float
+    bandwidth_saving_ratio: float
+    bytes_before_dedup: int
+    bytes_sent: int
+    update_time_s: float
+    miss_ratio: float
+    retransmissions: int
+    detoured: int
+    keys_delivered: int
+    evicted_versions: List[int]
+    inconsistency_rate: float
+    promoted: bool
+
+    @property
+    def throughput_kps(self) -> float:
+        """Delivered keys per second, in units of 10^4 keys/s (Fig 10a)."""
+        if self.update_time_s <= 0:
+            return 0.0
+        return self.keys_delivered / self.update_time_s / 1e4
+
+
+class DirectLoad:
+    """The full index-updating system over one simulator."""
+
+    def __init__(self, config: DirectLoadConfig | None = None) -> None:
+        self.config = config or DirectLoadConfig()
+        self.sim = Simulator()
+        self.topology = build_topology(self.sim, self.config.topology)
+        self.monitor = NetworkMonitor(self.topology)
+        self.monitor.start()
+        self.transport = BifrostTransport(
+            self.topology, self.monitor, self.config.transport
+        )
+        vocabulary = ZipfVocabulary(
+            self.config.vocabulary_size, seed=self.config.seed
+        )
+        self.corpus = SyntheticWebCorpus(
+            doc_count=self.config.doc_count,
+            vocabulary=vocabulary,
+            doc_length=self.config.doc_length,
+            mutation_rate=self.config.mutation_rate,
+            seed=self.config.seed,
+        )
+        self.pipeline = IndexBuildPipeline(
+            self.corpus,
+            PipelineConfig(
+                forward_value_bytes=self.config.forward_value_bytes,
+                summary_value_bytes=self.config.summary_value_bytes,
+            ),
+        )
+        self.deduplicator = Deduplicator()
+        # One chunk deduplicator per index family: summary chunks are only
+        # ever shipped to summary-storing data centers, so chunk knowledge
+        # must not leak across families.
+        self.chunk_dedupers = {
+            kind: ChunkedDeduplicator(average_chunk_bytes=self.config.chunk_bytes)
+            for kind in IndexKind
+        }
+        self.slicer = Slicer(target_slice_bytes=self.config.slice_bytes)
+        self.scheduler = StreamScheduler(self.config.generation_window_s)
+        self.clusters: Dict[str, MintCluster] = {
+            dc: MintCluster(dc, self.config.mint, self._engine_factory)
+            for dc in self.topology.all_data_centers()
+        }
+        self.versions = VersionManager(self.config.max_live_versions)
+        self.reports: List[UpdateCycleReport] = []
+        #: raw transport report of the most recent cycle (delay analysis)
+        self.last_delivery: Optional[DeliveryReport] = None
+        #: the most recent gray release (its serving map routes queries)
+        self.release: Optional[GrayRelease] = None
+
+    def _engine_factory(self, node_name: str):
+        capacity = self.config.mint.node_capacity_bytes
+        if self.config.engine == "qindb":
+            return QinDB.with_capacity(
+                capacity, config=QinDBConfig(segment_bytes=4 * 1024 * 1024)
+            )
+        return LSMEngine.with_capacity(
+            capacity,
+            config=LSMConfig(
+                memtable_bytes=1024 * 1024, level1_max_bytes=4 * 1024 * 1024
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def run_update_cycle(
+        self, mutation_rate: Optional[float] = None
+    ) -> UpdateCycleReport:
+        """Build and roll out one new index version end to end."""
+        first_version = not self.versions.live_versions
+        if first_version:
+            dataset = self.pipeline.build_version()
+        else:
+            dataset = self.pipeline.advance_and_build(mutation_rate)
+        version = dataset.version
+
+        if not self.config.dedup_enabled:
+            to_deliver = dataset
+            dedup_ratio = 0.0
+            saving = 0.0
+            bytes_before = dataset.total_bytes
+            raw_slices = self.slicer.make_slices(to_deliver)
+        elif self.config.dedup_mode == "chunked":
+            to_deliver, encodings, counters = self._chunk_dedup(dataset)
+            dedup_ratio = counters["unchanged"] / max(1, counters["total"])
+            bytes_before = counters["bytes_before"]
+            saving = (
+                (bytes_before - counters["bytes_after"]) / bytes_before
+                if bytes_before
+                else 0.0
+            )
+            raw_slices = self.slicer.make_delta_slices(to_deliver, encodings)
+        else:
+            dedup_result: DedupResult = self.deduplicator.process(dataset)
+            to_deliver = dedup_result.dataset
+            dedup_ratio = dedup_result.dedup_ratio
+            saving = dedup_result.bandwidth_saving_ratio
+            bytes_before = dedup_result.bytes_before
+            raw_slices = self.slicer.make_slices(to_deliver)
+
+        slices = self.scheduler.schedule(raw_slices, start_time=self.sim.now)
+        delivered_keys = [0]
+
+        def ingest(dc: str, item) -> None:
+            delivered_keys[0] += self.clusters[dc].ingest_slice(item)
+
+        delivery: DeliveryReport = self.transport.deliver_version(
+            slices, on_arrival=ingest
+        )
+        self.last_delivery = delivery
+
+        evicted = self.versions.install(version)
+        for old_version in evicted:
+            for cluster in self.clusters.values():
+                cluster.drop_version(old_version)
+
+        promoted, inconsistency = self._gray_release(version, dedup_ratio)
+
+        report = UpdateCycleReport(
+            version=version,
+            entries_built=dataset.entry_count,
+            dedup_ratio=dedup_ratio,
+            bandwidth_saving_ratio=saving,
+            bytes_before_dedup=bytes_before,
+            bytes_sent=delivery.bytes_sent,
+            update_time_s=delivery.update_time_s,
+            miss_ratio=delivery.miss_ratio,
+            retransmissions=delivery.retransmissions,
+            detoured=delivery.detoured,
+            keys_delivered=delivered_keys[0],
+            evicted_versions=evicted,
+            inconsistency_rate=inconsistency,
+            promoted=promoted,
+        )
+        self.reports.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+    def _chunk_dedup(self, dataset):
+        """Delta-encode each index family against its own chunk history."""
+        from repro.indexing.types import IndexDataset
+
+        to_deliver = IndexDataset(version=dataset.version)
+        encodings = {}
+        counters = {"total": 0, "unchanged": 0, "bytes_before": 0, "bytes_after": 0}
+        for kind in IndexKind:
+            sub = IndexDataset(version=dataset.version)
+            for entry in dataset.of_kind(kind):
+                sub.add(entry)
+            result = self.chunk_dedupers[kind].process(sub)
+            for entry in result.dataset.of_kind(kind):
+                to_deliver.add(entry)
+            encodings.update(result.encodings)
+            counters["total"] += result.total_entries
+            counters["unchanged"] += result.unchanged_entries
+            counters["bytes_before"] += result.bytes_before
+            counters["bytes_after"] += result.bytes_after
+        return to_deliver, encodings, counters
+
+    def _gray_release(self, version: int, dedup_ratio: float) -> tuple[bool, float]:
+        """Advance the gray DC, measure, then promote or roll back."""
+        release = GrayRelease(
+            self.config.gray_dc, self.config.release_thresholds
+        )
+        self.release = release
+        previous = self.versions.active_version
+        release.start(version, self.topology.all_data_centers(), previous)
+        inconsistency = (
+            0.0
+            if previous is None
+            else estimate_inconsistency(
+                duplicate_ratio=dedup_ratio,
+                cross_region_share=self.config.cross_region_share,
+            )
+        )
+        p99 = self._sample_gray_latency(version)
+        observation = GrayObservation(
+            inconsistency_rate=inconsistency,
+            error_rate=0.0,
+            p99_latency_s=p99,
+        )
+        if release.observe(observation):
+            release.promote()
+            self.versions.activate(version)
+            return True, inconsistency
+        release.rollback()
+        return False, inconsistency
+
+    def _sample_gray_latency(self, version: int, samples: int = 32) -> float:
+        """p99 of real engine reads at the gray DC for the new version."""
+        cluster = self.clusters[self.config.gray_dc]
+        keys = cluster.version_keys.get(version, [])
+        if not keys:
+            return 0.0
+        step = max(1, len(keys) // samples)
+        latencies = []
+        for key in keys[::step][:samples]:
+            group = cluster.group_for(key)
+            node = group.replicas_for(key)[0]
+            before = node.engine.device.now
+            try:
+                node.get(key, version)
+            except ReproError:
+                continue
+            latencies.append(node.engine.device.now - before)
+        if not latencies:
+            return 0.0
+        latencies.sort()
+        return latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+
+    # ------------------------------------------------------------------
+    def query(self, dc: str, kind: IndexKind, key: bytes) -> bytes:
+        """Front-end read against whatever version ``dc`` serves.
+
+        During a gray window the gray DC serves the new version while
+        the rest of the fleet stays on the old one — the per-DC serving
+        map is the release's, which is exactly how cross-region
+        inconsistency arises.
+        """
+        from repro.core.release import ReleasePhase
+
+        version: Optional[int] = None
+        if (
+            self.release is not None
+            and self.release.phase in (ReleasePhase.GRAY, ReleasePhase.ACTIVE)
+            and dc in self.release.serving
+        ):
+            version = self.release.serving[dc]
+        else:
+            # Rolled back (or no release yet): the last *activated*
+            # version serves, if any.
+            version = self.versions.active_version
+        if version is None:
+            raise KeyNotFoundError("no active version yet")
+        return self.clusters[dc].query(kind, key, version)
+
+    def fleet_stats(self) -> Dict[str, float]:
+        """Aggregate storage counters across all data centers."""
+        totals: Dict[str, float] = {}
+        for cluster in self.clusters.values():
+            for name, value in cluster.stats().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals

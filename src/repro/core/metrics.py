@@ -1,0 +1,148 @@
+"""Measurement utilities shared by experiments and benches.
+
+* :class:`TimeSeries` — values accumulated into fixed-width time buckets,
+  yielding rate series ("MB/s per minute", the x-axis of Figures 5-7);
+* :class:`PercentileTracker` — latency samples with avg/p99/p99.9
+  summaries (Figure 8's three statistical points);
+* :class:`ThroughputSampler` — periodic counter snapshots turned into
+  per-interval deltas (how the paper's firmware counters become curves).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+
+class TimeSeries:
+    """Values bucketed by time; read back as sums or rates."""
+
+    def __init__(self, bucket_s: float = 60.0) -> None:
+        if bucket_s <= 0:
+            raise ConfigError(f"bucket width must be positive, got {bucket_s}")
+        self.bucket_s = bucket_s
+        self._buckets: Dict[int, float] = {}
+
+    def add(self, when: float, value: float) -> None:
+        """Accumulate ``value`` into the bucket containing ``when``."""
+        bucket = int(when // self.bucket_s)
+        self._buckets[bucket] = self._buckets.get(bucket, 0.0) + value
+
+    def sums(self) -> List[Tuple[float, float]]:
+        """(bucket_start_time, total) for every touched bucket, in order."""
+        return [
+            (bucket * self.bucket_s, self._buckets[bucket])
+            for bucket in sorted(self._buckets)
+        ]
+
+    def rates(self) -> List[Tuple[float, float]]:
+        """(bucket_start_time, total / bucket_seconds) series."""
+        return [(start, total / self.bucket_s) for start, total in self.sums()]
+
+    def rate_values(self) -> List[float]:
+        """Just the rate magnitudes (for mean/stddev summaries)."""
+        return [rate for _start, rate in self.rates()]
+
+
+class PercentileTracker:
+    """Collects samples; reports mean and arbitrary percentiles."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def add(self, sample: float) -> None:
+        self._samples.append(sample)
+
+    def extend(self, samples: Sequence[float]) -> None:
+        self._samples.extend(samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (nearest-rank on the sorted samples)."""
+        if not 0.0 <= p <= 100.0:
+            raise ConfigError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        # The epsilon guards against float artifacts like 99.9/100*1000
+        # evaluating to 999.0000000000001 (which would ceil to 1000).
+        rank = max(0, math.ceil(p / 100.0 * len(ordered) - 1e-9) - 1)
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        """The paper's three statistical points (Figure 8)."""
+        return {
+            "avg": self.mean,
+            "p99": self.percentile(99.0),
+            "p999": self.percentile(99.9),
+        }
+
+
+@dataclass
+class Sample:
+    """One periodic snapshot of monotonically increasing counters."""
+
+    at: float
+    values: Dict[str, float]
+
+
+class ThroughputSampler:
+    """Snapshots counters on an interval; yields per-interval rates."""
+
+    def __init__(self, interval_s: float = 60.0) -> None:
+        if interval_s <= 0:
+            raise ConfigError(f"interval must be positive, got {interval_s}")
+        self.interval_s = interval_s
+        self._samples: List[Sample] = []
+        self._next_due = 0.0
+
+    def prime(self, now: float, counters: Dict[str, float]) -> None:
+        """Record the baseline sample at experiment start."""
+        self._samples = [Sample(now, dict(counters))]
+        self._next_due = now + self.interval_s
+
+    def maybe_sample(self, now: float, read_counters: Callable[[], Dict[str, float]]) -> None:
+        """Take snapshots for every interval boundary passed by ``now``."""
+        while now >= self._next_due:
+            self._samples.append(Sample(self._next_due, read_counters()))
+            self._next_due += self.interval_s
+
+    def finalize(self, now: float, counters: Dict[str, float]) -> None:
+        """Record the trailing partial interval."""
+        if not self._samples or now > self._samples[-1].at:
+            self._samples.append(Sample(now, dict(counters)))
+
+    def rate_series(self, counter: str) -> List[Tuple[float, float]]:
+        """(interval_start, delta/second) for one counter."""
+        series: List[Tuple[float, float]] = []
+        for before, after in zip(self._samples, self._samples[1:]):
+            duration = after.at - before.at
+            if duration <= 0:
+                continue
+            delta = after.values[counter] - before.values[counter]
+            series.append((before.at, delta / duration))
+        return series
+
+    def level_series(self, counter: str) -> List[Tuple[float, float]]:
+        """(time, value) of a gauge-like counter at each snapshot."""
+        return [(s.at, s.values[counter]) for s in self._samples]
+
+
+def mean_and_stddev(values: Sequence[float]) -> Tuple[float, float]:
+    """Population mean and standard deviation (Figure 6's metric)."""
+    if not values:
+        return 0.0, 0.0
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return mean, math.sqrt(variance)

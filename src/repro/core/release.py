@@ -1,0 +1,136 @@
+"""Gray release: one data center advances first (paper Section 3).
+
+The gray DC serves real queries on the new version while the other five
+stay on the old one.  The release is promoted only if the observed
+malfunctions stay under thresholds; otherwise it rolls back.  While the
+fleet is split, users whose queries cross regions can see *inconsistent*
+results — the paper measures this under 0.1% and notes it rarely confuses
+users because consecutive versions overlap heavily.
+
+The inconsistency model here: a cross-region query pair disagrees only if
+it touches an entry that changed between the two versions, so
+
+    inconsistency = cross_region_share * (1 - duplicate_ratio) * gray_share
+
+with ``gray_share`` the fraction of traffic landing on the gray DC.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigError, ReleaseError
+
+
+class ReleasePhase(enum.Enum):
+    """Lifecycle of one version's rollout."""
+
+    IDLE = "idle"
+    GRAY = "gray"
+    ACTIVE = "active"
+    ROLLED_BACK = "rolled_back"
+
+
+@dataclass(frozen=True)
+class ReleaseThresholds:
+    """Promotion gates observed during the gray window."""
+
+    max_inconsistency: float = 0.001  # the paper's "under 0.1%"
+    max_error_rate: float = 0.001
+    max_p99_latency_s: float = 0.5  # the 500 ms query SLO
+
+    def __post_init__(self) -> None:
+        if min(
+            self.max_inconsistency, self.max_error_rate, self.max_p99_latency_s
+        ) <= 0:
+            raise ConfigError("release thresholds must be positive")
+
+
+@dataclass
+class GrayObservation:
+    """What the gray window measured."""
+
+    inconsistency_rate: float
+    error_rate: float
+    p99_latency_s: float
+
+
+def estimate_inconsistency(
+    duplicate_ratio: float,
+    cross_region_share: float = 0.02,
+    gray_share: float = 1.0 / 6.0,
+) -> float:
+    """The documented cross-region inconsistency model."""
+    for name, value in (
+        ("duplicate_ratio", duplicate_ratio),
+        ("cross_region_share", cross_region_share),
+        ("gray_share", gray_share),
+    ):
+        if not 0.0 <= value <= 1.0:
+            raise ConfigError(f"{name} must be in [0, 1], got {value}")
+    return cross_region_share * (1.0 - duplicate_ratio) * gray_share
+
+
+class GrayRelease:
+    """State machine driving one version through gray -> active."""
+
+    def __init__(
+        self,
+        gray_dc: str,
+        thresholds: ReleaseThresholds | None = None,
+    ) -> None:
+        self.gray_dc = gray_dc
+        self.thresholds = thresholds or ReleaseThresholds()
+        self.phase = ReleasePhase.IDLE
+        self.version: Optional[int] = None
+        self.observation: Optional[GrayObservation] = None
+        #: which version each data center serves
+        self.serving: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def start(self, version: int, data_centers: list[str], previous: Optional[int]) -> None:
+        """Enter the gray phase: only ``gray_dc`` serves ``version``."""
+        if self.phase is ReleasePhase.GRAY:
+            raise ReleaseError("a gray release is already in progress")
+        if self.gray_dc not in data_centers:
+            raise ReleaseError(f"gray DC {self.gray_dc!r} not in fleet")
+        self.version = version
+        self.phase = ReleasePhase.GRAY
+        self.serving = {
+            dc: version if dc == self.gray_dc else (previous if previous else version)
+            for dc in data_centers
+        }
+
+    def observe(self, observation: GrayObservation) -> bool:
+        """Record gray-window measurements; True if gates pass."""
+        if self.phase is not ReleasePhase.GRAY:
+            raise ReleaseError("observe() outside a gray window")
+        self.observation = observation
+        gates = self.thresholds
+        return (
+            observation.inconsistency_rate <= gates.max_inconsistency
+            and observation.error_rate <= gates.max_error_rate
+            and observation.p99_latency_s <= gates.max_p99_latency_s
+        )
+
+    def promote(self) -> None:
+        """Activate the version fleet-wide."""
+        if self.phase is not ReleasePhase.GRAY or self.version is None:
+            raise ReleaseError("promote() outside a gray window")
+        for dc in self.serving:
+            self.serving[dc] = self.version
+        self.phase = ReleasePhase.ACTIVE
+
+    def rollback(self) -> None:
+        """Abort: every data center returns to the previous version."""
+        if self.phase is not ReleasePhase.GRAY or self.version is None:
+            raise ReleaseError("rollback() outside a gray window")
+        previous = {
+            dc: version for dc, version in self.serving.items() if dc != self.gray_dc
+        }
+        if previous:
+            fallback = next(iter(previous.values()))
+            self.serving[self.gray_dc] = fallback
+        self.phase = ReleasePhase.ROLLED_BACK

@@ -1,0 +1,85 @@
+"""Common exception hierarchy for the DirectLoad reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors (``TypeError``, ``KeyError`` from plain dicts, and so on).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine and device failures."""
+
+
+class DeviceFullError(StorageError):
+    """The simulated SSD has no free space left for the request."""
+
+
+class OutOfRangeError(StorageError):
+    """An address (page, block, or offset) is outside the device geometry."""
+
+
+class AlignmentError(StorageError):
+    """A native-interface request is not block- or page-aligned."""
+
+
+class CorruptionError(StorageError):
+    """Stored bytes fail checksum or framing validation."""
+
+
+class TruncatedRecordError(CorruptionError):
+    """A record's framing runs past the end of the available bytes.
+
+    At the tail of an append-only file this is a *torn write* (a crash
+    caught a record half-programmed), which recovery treats as the end
+    of the log rather than as corruption.
+    """
+
+
+class KeyNotFoundError(StorageError):
+    """The requested key/version does not exist in the store."""
+
+
+class EngineClosedError(StorageError):
+    """An operation was issued against a closed storage engine."""
+
+
+class TransmissionError(ReproError):
+    """Base class for Bifrost delivery failures."""
+
+
+class ChecksumMismatchError(TransmissionError):
+    """A slice arrived with a checksum that does not match its payload."""
+
+
+class RoutingError(TransmissionError):
+    """No usable route exists between the requested regions."""
+
+
+class ClusterError(ReproError):
+    """Base class for Mint cluster-management failures."""
+
+
+class ReplicationError(ClusterError):
+    """Not enough healthy nodes are available to place all replicas."""
+
+
+class NodeDownError(ClusterError):
+    """The addressed storage node is not serving requests."""
+
+
+class ReleaseError(ReproError):
+    """A gray-release transition was attempted from an invalid state."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly."""

@@ -1,0 +1,17 @@
+"""A hash-indexed KV engine — the related-work baseline QinDB rejects.
+
+Paper 2.1: "in a conventional KV-store with a hashing mechanism,
+frequent indexing operations can cause a high number of random accesses
+in memory, reducing KV throughput", and the related-work survey notes
+that the log-plus-hash-table systems (FlashStore, SkimpyStash, SILT,
+...) do not support "advanced features like range queries".
+
+:class:`HashKV` is that design, faithfully: the same append-only log on
+the native SSD path as QinDB, but indexed by an (unordered) hash table.
+Point operations are O(1); a range scan must visit *every* entry and
+sort the survivors — cost proportional to the table, not the result.
+"""
+
+from repro.hashkv.engine import HashKV, HashKVConfig
+
+__all__ = ["HashKV", "HashKVConfig"]

@@ -1,0 +1,208 @@
+"""Sorted string tables: immutable sorted run files on the filesystem.
+
+An SSTable holds records sorted by the composite key ``(key, version)``.
+The file body is just framed records; the reader keeps a *sparse index*
+(one entry every ``index_interval`` records, like LevelDB's block index)
+and a bloom filter in memory.  Point reads touch one indexed byte range;
+sequential scans stream the whole file — both charge real page reads on
+the simulated device.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.lsm.bloom import BloomFilter
+from repro.qindb.records import Record, decode_record, encode_record, scan_records
+from repro.ssd.files import BlockFileSystem, SSDFile
+
+Composite = Tuple[bytes, int]
+
+#: records per sparse-index entry (LevelDB indexes ~4 KB blocks; with
+#: multi-KB values this is a comparable granularity)
+DEFAULT_INDEX_INTERVAL = 16
+
+
+def _composite(record: Record) -> Composite:
+    return (record.key, record.version)
+
+
+def _bloom_key(key: bytes, version: int) -> bytes:
+    return key + b"\x00" + version.to_bytes(8, "little")
+
+
+class SSTable:
+    """One immutable sorted run: a file plus its in-memory index."""
+
+    def __init__(
+        self,
+        file: SSDFile,
+        index_keys: List[Composite],
+        index_offsets: List[int],
+        end_offset: int,
+        bloom: BloomFilter,
+        record_count: int,
+        min_key: Composite,
+        max_key: Composite,
+        sequence: int,
+    ) -> None:
+        self._file = file
+        self._index_keys = index_keys
+        self._index_offsets = index_offsets
+        self._end_offset = end_offset
+        self._bloom = bloom
+        self.record_count = record_count
+        self.min_key = min_key
+        self.max_key = max_key
+        #: global creation sequence; larger = newer (for L0 resolution)
+        self.sequence = sequence
+        #: bloom checks that passed but found nothing (false positives)
+        self.bloom_false_positives = 0
+        #: optional block cache shared across the engine's tables
+        self.cache = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def write(
+        cls,
+        fs: BlockFileSystem,
+        name: str,
+        records: List[Record],
+        sequence: int,
+        index_interval: int = DEFAULT_INDEX_INTERVAL,
+    ) -> "SSTable":
+        """Serialize sorted ``records`` into a new table file.
+
+        The writer builds the index and bloom as it streams, so reading
+        them back costs nothing (they are handed to the reader in memory,
+        as LevelDB's table cache effectively does).
+        """
+        if not records:
+            raise StorageError("refusing to write an empty SSTable")
+        previous: Optional[Composite] = None
+        for record in records:
+            current = _composite(record)
+            if previous is not None and current <= previous:
+                raise StorageError(
+                    f"records not strictly sorted: {current!r} after {previous!r}"
+                )
+            previous = current
+
+        file = fs.create(name)
+        index_keys: List[Composite] = []
+        index_offsets: List[int] = []
+        bloom = BloomFilter(len(records))
+        buffer = bytearray()
+        offset = 0
+        for position, record in enumerate(records):
+            if position % index_interval == 0:
+                index_keys.append(_composite(record))
+                index_offsets.append(offset)
+            bloom.add(_bloom_key(record.key, record.version))
+            encoded = encode_record(record)
+            buffer += encoded
+            offset += len(encoded)
+        file.append(bytes(buffer))
+        return cls(
+            file=file,
+            index_keys=index_keys,
+            index_offsets=index_offsets,
+            end_offset=offset,
+            bloom=bloom,
+            record_count=len(records),
+            min_key=_composite(records[0]),
+            max_key=_composite(records[-1]),
+            sequence=sequence,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._file.name
+
+    @property
+    def size(self) -> int:
+        """File size in bytes."""
+        return self._file.size
+
+    @property
+    def index_memory_bytes(self) -> int:
+        """Approximate RAM held by the sparse index and bloom filter."""
+        index = sum(len(k) + 24 for k, _v in self._index_keys)
+        return index + self._bloom.size_bytes
+
+    def overlaps(self, low: Composite, high: Composite) -> bool:
+        """Whether this table's key range intersects ``[low, high]``."""
+        return not (self.max_key < low or high < self.min_key)
+
+    # ------------------------------------------------------------------
+    def may_contain(self, key: bytes, version: int) -> bool:
+        """Bloom-filter screen (no I/O)."""
+        return self._bloom.may_contain(_bloom_key(key, version))
+
+    def get(self, key: bytes, version: int) -> Optional[Record]:
+        """Exact lookup; one indexed range read when bloom passes."""
+        target: Composite = (key, version)
+        if target < self.min_key or self.max_key < target:
+            return None
+        if not self.may_contain(key, version):
+            return None
+        record = self._search(target, exact=True)
+        if record is None:
+            self.bloom_false_positives += 1
+        return record
+
+    def floor(self, target: Composite) -> Optional[Record]:
+        """Greatest record with composite key <= ``target`` (no bloom)."""
+        if target < self.min_key:
+            return None
+        return self._search(target, exact=False)
+
+    def _search(self, target: Composite, exact: bool) -> Optional[Record]:
+        slot = bisect.bisect_right(self._index_keys, target) - 1
+        if slot < 0:
+            return None
+        start = self._index_offsets[slot]
+        end = (
+            self._index_offsets[slot + 1]
+            if slot + 1 < len(self._index_offsets)
+            else self._end_offset
+        )
+        chunk = None
+        if self.cache is not None:
+            chunk = self.cache.get((self._file.name, slot))
+        if chunk is None:
+            chunk = self._file.read(start, end - start)
+            if self.cache is not None:
+                self.cache.put((self._file.name, slot), chunk)
+        best: Optional[Record] = None
+        offset = 0
+        while offset < len(chunk):
+            record, offset = decode_record(chunk, offset)
+            composite = _composite(record)
+            if composite == target:
+                return record
+            if composite > target:
+                break
+            best = record
+        return None if exact else best
+
+    def iter_records(self) -> Iterator[Record]:
+        """Stream every record (a full sequential read — compaction I/O)."""
+        if self._end_offset == 0:
+            return
+        image = self._file.read(0, self._end_offset)
+        for _offset, record in scan_records(image):
+            yield record
+
+    def delete(self, fs: BlockFileSystem) -> None:
+        """Remove the table's file (TRIMs its pages).
+
+        Every block the cache held for this file is invalidated — the
+        compaction-induced cache invalidation of paper Section 2.1.
+        """
+        if self.cache is not None:
+            self.cache.invalidate_file(self._file.name)
+        fs.delete(self._file.name)

@@ -1,0 +1,26 @@
+"""Mint: the distributed key-value store inside each data center.
+
+Key placement (paper 2.3): ``H(k)`` maps a key to a *group* of storage
+nodes — never directly to a node, so nodes can join and leave a group
+without redistributing data across groups.  Within a group, three
+replicas land on distinct nodes chosen by rendezvous hashing, and reads
+fan out to the replicas in parallel so one slow or recovering node never
+shows up in front-end latency.
+
+Each storage node runs a :class:`~repro.qindb.QinDB` engine on its own
+simulated SSD (an LSM engine can be swapped in for baselines).
+"""
+
+from repro.mint.cluster import MintCluster, MintConfig
+from repro.mint.group import NodeGroup
+from repro.mint.hashing import rendezvous_ranking, stable_hash
+from repro.mint.node import StorageNode
+
+__all__ = [
+    "MintCluster",
+    "MintConfig",
+    "NodeGroup",
+    "StorageNode",
+    "rendezvous_ranking",
+    "stable_hash",
+]

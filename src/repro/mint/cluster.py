@@ -1,0 +1,212 @@
+"""A Mint cluster: groups of storage nodes behind ``H(k)``.
+
+One cluster lives in each data center.  Keys hash to groups; groups place
+replicas.  The cluster also owns slice ingestion (index entries arriving
+from Bifrost become versioned puts, with the index kind folded into the
+key so URLs and terms never collide).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.bifrost.chunking import ChunkStore
+from repro.bifrost.slices import Slice
+from repro.errors import ClusterError, ConfigError
+from repro.indexing.types import IndexKind
+from repro.mint.group import NodeGroup
+from repro.mint.hashing import stable_hash
+from repro.mint.node import Engine, StorageNode
+from repro.qindb.engine import QinDB, QinDBConfig
+
+_KIND_PREFIX = {
+    IndexKind.FORWARD: b"F:",
+    IndexKind.INVERTED: b"I:",
+    IndexKind.SUMMARY: b"S:",
+}
+
+
+def storage_key(kind: IndexKind, key: bytes) -> bytes:
+    """Fold the index kind into the key (one namespace per family)."""
+    return _KIND_PREFIX[kind] + key
+
+
+@dataclass(frozen=True)
+class MintConfig:
+    """Shape of one data center's cluster."""
+
+    group_count: int = 2
+    nodes_per_group: int = 3
+    replica_count: int = 3
+    node_capacity_bytes: int = 256 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.group_count < 1:
+            raise ConfigError("group_count must be >= 1")
+        if self.nodes_per_group < self.replica_count:
+            raise ConfigError("nodes_per_group must be >= replica_count")
+
+
+class MintCluster:
+    """Hash-partitioned, replicated storage for one data center."""
+
+    def __init__(
+        self,
+        name: str,
+        config: MintConfig | None = None,
+        engine_factory: Optional[Callable[[str], Engine]] = None,
+    ) -> None:
+        self.name = name
+        self.config = config or MintConfig()
+        factory = engine_factory or self._default_engine
+        self.groups: List[NodeGroup] = []
+        for group_index in range(self.config.group_count):
+            nodes = [
+                StorageNode(
+                    f"{name}/g{group_index}/n{node_index}",
+                    factory(f"{name}-g{group_index}-n{node_index}"),
+                )
+                for node_index in range(self.config.nodes_per_group)
+            ]
+            self.groups.append(
+                NodeGroup(group_index, nodes, self.config.replica_count)
+            )
+        #: per-version keys ingested, for the version-deletion thread
+        self.version_keys: Dict[int, List[bytes]] = {}
+        #: receiver-side chunk store for delta-encoded slices
+        self.chunk_store = ChunkStore()
+        #: per-version chunk recipes, released when the version drops
+        self._version_recipes: Dict[int, List[List[bytes]]] = {}
+
+    def _default_engine(self, node_name: str) -> Engine:
+        return QinDB.with_capacity(
+            self.config.node_capacity_bytes,
+            config=QinDBConfig(segment_bytes=4 * 1024 * 1024),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def all_nodes(self) -> List[StorageNode]:
+        return [node for group in self.groups for node in group.nodes]
+
+    def group_for(self, key: bytes) -> NodeGroup:
+        """The paper's ``H(k)`` -> group mapping."""
+        return self.groups[stable_hash(key) % len(self.groups)]
+
+    # ------------------------------------------------------------------
+    def put(self, key: bytes, version: int, value: Optional[bytes]) -> int:
+        return self.group_for(key).put(key, version, value)
+
+    def get(self, key: bytes, version: int) -> bytes:
+        return self.group_for(key).get(key, version)
+
+    def delete(self, key: bytes, version: int) -> int:
+        return self.group_for(key).delete(key, version)
+
+    # ------------------------------------------------------------------
+    def ingest_slice(self, item: Slice) -> int:
+        """Store every entry of an arrived slice; returns entries written.
+
+        Value-less (deduplicated) entries are stored value-less — QinDB's
+        GET traceback resolves them against the previous version.  Delta
+        slices are reassembled against this data center's chunk store.
+        """
+        if item.is_delta:
+            return self._ingest_delta(item)
+        keys = self.version_keys.setdefault(item.version, [])
+        for entry in item.entries:
+            skey = storage_key(entry.kind, entry.key)
+            self.put(skey, item.version, entry.value)
+            keys.append(skey)
+        return len(item.entries)
+
+    def _ingest_delta(self, item: Slice) -> int:
+        keys = self.version_keys.setdefault(item.version, [])
+        recipes = self._version_recipes.setdefault(item.version, [])
+        count = 0
+        for kind, key, encoding in item.delta_items():
+            skey = storage_key(kind, key)
+            if encoding is None:
+                self.put(skey, item.version, None)
+            else:
+                value = self.chunk_store.absorb(encoding)
+                recipes.append(encoding.recipe)
+                self.put(skey, item.version, value)
+            keys.append(skey)
+            count += 1
+        return count
+
+    def drop_version(self, version: int) -> int:
+        """Delete every key ingested under ``version`` (oldest-version
+        removal when more than four versions persist)."""
+        keys = self.version_keys.pop(version, [])
+        dropped = 0
+        for key in keys:
+            self.delete(key, version)
+            dropped += 1
+        for recipe in self._version_recipes.pop(version, []):
+            self.chunk_store.release(recipe)
+        return dropped
+
+    def query(self, kind: IndexKind, key: bytes, version: int) -> bytes:
+        """Front-end read of one index entry."""
+        return self.get(storage_key(kind, key), version)
+
+    def scan(
+        self,
+        kind: IndexKind,
+        start_key: bytes,
+        end_key: bytes,
+        version: Optional[int] = None,
+    ):
+        """Range query across the whole cluster, sorted by key.
+
+        Keys hash across groups, so a range scan is a scatter-gather:
+        every group scans its nodes and the results merge-sort.  This is
+        the "advanced feature" the paper's sorted memtable buys that the
+        hash-table stores in its related work cannot offer.  ``version``
+        filters to one index version; None returns all live versions.
+        """
+        import heapq
+
+        prefix = _KIND_PREFIX[kind]
+        low = prefix + start_key
+        high = prefix + end_key
+        streams = [group.scan(low, high) for group in self.groups]
+        for skey, item_version, value in heapq.merge(
+            *streams, key=lambda row: (row[0], row[1])
+        ):
+            if version is not None and item_version != version:
+                continue
+            yield skey[len(prefix):], item_version, value
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Aggregate engine counters across all nodes."""
+        totals = {
+            "nodes": 0,
+            "healthy_nodes": 0,
+            "puts": 0,
+            "gets": 0,
+            "deletes": 0,
+            "user_bytes_written": 0,
+            "disk_used_bytes": 0,
+            "busy_time_s": 0.0,
+        }
+        for node in self.all_nodes:
+            totals["nodes"] += 1
+            totals["healthy_nodes"] += 1 if node.is_up else 0
+            totals["puts"] += node.puts
+            totals["gets"] += node.gets
+            totals["deletes"] += node.deletes
+            stats = node.engine.stats()
+            totals["user_bytes_written"] += stats.user_bytes_written
+            totals["disk_used_bytes"] += stats.disk_used_bytes
+            totals["busy_time_s"] += node.engine.device.counters.busy_time_s
+        return totals
+
+    @property
+    def max_device_time(self) -> float:
+        """The slowest node's device clock (cluster makespan proxy)."""
+        return max(node.engine.device.now for node in self.all_nodes)

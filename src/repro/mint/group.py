@@ -1,0 +1,160 @@
+"""A group of storage nodes: the unit ``H(k)`` maps to.
+
+Replica placement within the group uses rendezvous hashing over the
+member names, so adding or removing a node reshuffles only the keys whose
+top-ranked nodes change — and never moves data *between* groups, which is
+the paper's scalability argument for the group indirection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    ClusterError,
+    KeyNotFoundError,
+    NodeDownError,
+    ReplicationError,
+)
+from repro.mint.hashing import rendezvous_ranking
+from repro.mint.node import StorageNode
+
+
+class NodeGroup:
+    """Named set of nodes with replica placement and failover reads."""
+
+    def __init__(
+        self,
+        group_id: int,
+        nodes: List[StorageNode],
+        replica_count: int = 3,
+    ) -> None:
+        if replica_count < 1:
+            raise ClusterError(f"replica_count must be >= 1, got {replica_count}")
+        if len(nodes) < replica_count:
+            raise ClusterError(
+                f"group {group_id} has {len(nodes)} nodes but needs "
+                f"{replica_count} replicas"
+            )
+        self.group_id = group_id
+        self.replica_count = replica_count
+        self._nodes: Dict[str, StorageNode] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[StorageNode]:
+        return [self._nodes[name] for name in sorted(self._nodes)]
+
+    @property
+    def healthy_count(self) -> int:
+        return sum(1 for node in self._nodes.values() if node.is_up)
+
+    def node(self, name: str) -> StorageNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ClusterError(f"no node {name!r} in group {self.group_id}") from None
+
+    def add_node(self, node: StorageNode) -> None:
+        """Join a node; existing keys stay where they are."""
+        if node.name in self._nodes:
+            raise ClusterError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+
+    def remove_node(self, name: str) -> StorageNode:
+        """Leave the group (e.g. decommissioning)."""
+        if len(self._nodes) - 1 < self.replica_count:
+            raise ClusterError(
+                f"removing {name!r} would leave group {self.group_id} "
+                f"below {self.replica_count} replicas"
+            )
+        return self._nodes.pop(name)
+
+    # ------------------------------------------------------------------
+    def replicas_for(self, key: bytes) -> List[StorageNode]:
+        """The ``replica_count`` nodes responsible for ``key``."""
+        ranked = rendezvous_ranking(sorted(self._nodes), key)
+        return [self._nodes[name] for name in ranked[: self.replica_count]]
+
+    def put(self, key: bytes, version: int, value: Optional[bytes]) -> int:
+        """Write to every live replica; returns the number written.
+
+        Raises :class:`ReplicationError` if *no* replica accepted the
+        write; a partially-failed write is reported via the return value
+        (the node will be repaired on recovery by the update pipeline).
+        """
+        written = 0
+        for node in self.replicas_for(key):
+            try:
+                node.put(key, version, value)
+                written += 1
+            except NodeDownError:
+                continue
+        if written == 0:
+            raise ReplicationError(
+                f"no live replica for key {key!r} in group {self.group_id}"
+            )
+        return written
+
+    def get(self, key: bytes, version: int) -> bytes:
+        """Read from the replicas, first healthy answer wins.
+
+        The paper sends requests "to the relevant nodes in parallel"; in
+        the simulation the first live replica answers and absorbs the
+        read cost, which models the parallel fan-out's latency-hiding.
+
+        A replica that is up but *missing* the key (it lost an unflushed
+        tail in a crash and has not been repaired yet) is skipped the
+        same way a down replica is — the parallel fan-out masks it.
+        """
+        missing: KeyNotFoundError | None = None
+        all_down = True
+        for node in self.replicas_for(key):
+            try:
+                return node.get(key, version)
+            except NodeDownError:
+                continue
+            except KeyNotFoundError as exc:
+                all_down = False
+                missing = exc
+        if all_down:
+            raise ReplicationError(
+                f"all replicas down for key {key!r} in group {self.group_id}"
+            )
+        assert missing is not None
+        raise missing
+
+    def delete(self, key: bytes, version: int) -> int:
+        """Delete on every live replica; returns the number reached."""
+        deleted = 0
+        for node in self.replicas_for(key):
+            try:
+                node.delete(key, version)
+                deleted += 1
+            except NodeDownError:
+                continue
+        return deleted
+
+    def scan(self, start_key: bytes, end_key: bytes):
+        """Range-scan the group: the union of every live node's items.
+
+        Replicas within the group hold overlapping key subsets (each key
+        lives on ``replica_count`` of the nodes), so the union is
+        deduplicated by (key, version); the result is sorted.
+        """
+        seen = {}
+        any_up = False
+        for node in self.nodes:
+            if not node.is_up:
+                continue
+            any_up = True
+            for key, version, value in node.engine.scan(start_key, end_key):
+                seen.setdefault((key, version), value)
+        if not any_up:
+            raise ReplicationError(
+                f"all nodes down in group {self.group_id}; cannot scan"
+            )
+        for (key, version) in sorted(seen):
+            yield key, version, seen[(key, version)]

@@ -1,0 +1,28 @@
+"""Stable hashing for key placement.
+
+``stable_hash`` is the paper's ``H(k)``: deterministic across runs and
+processes (Python's builtin ``hash`` is salted per process, which would
+make placements irreproducible).  Rendezvous (highest-random-weight)
+hashing ranks a group's nodes for a key; taking the top *n* gives replica
+placement that moves only ~1/n of keys when membership changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+
+def stable_hash(key: bytes, salt: bytes = b"") -> int:
+    """A 64-bit deterministic hash of ``key``."""
+    digest = hashlib.blake2b(key, digest_size=8, salt=salt[:16].ljust(16, b"\0"))
+    return int.from_bytes(digest.digest(), "little")
+
+
+def rendezvous_ranking(node_names: Sequence[str], key: bytes) -> List[str]:
+    """Node names ordered by descending rendezvous weight for ``key``."""
+    scored = [
+        (stable_hash(key, salt=name.encode()[:16]), name) for name in node_names
+    ]
+    scored.sort(reverse=True)
+    return [name for _score, name in scored]

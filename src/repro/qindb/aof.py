@@ -1,0 +1,271 @@
+"""Append-only files: fixed-size segments on the native SSD interface.
+
+An :class:`AofSegment` is one 64 MB (configurable) append-only file backed
+by a block-aligned :class:`~repro.ssd.native.NativeUnit`.  The
+:class:`AofManager` chains segments: appends go to the active segment and
+roll over when it is full; GC erases whole segments and the manager hands
+out fresh ones.
+
+Offsets are segment-local, so a record's address is the pair
+``(segment_id, offset)`` — exactly the ``offset`` field of the paper's
+skip-list items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import StorageError
+from repro.qindb.records import Record, decode_record, encode_record, scan_records
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.native import NativeBlockInterface, NativeUnit
+
+DEFAULT_SEGMENT_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True, order=True)
+class RecordLocation:
+    """Durable address of one record: which segment, at which offset."""
+
+    segment_id: int
+    offset: int
+    length: int
+
+
+class AofSegment:
+    """One fixed-capacity append-only file."""
+
+    def __init__(
+        self, segment_id: int, unit: NativeUnit, capacity_bytes: int
+    ) -> None:
+        self.segment_id = segment_id
+        self.capacity_bytes = capacity_bytes
+        self._unit = unit
+        self.record_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Bytes appended so far (including page padding)."""
+        return self._unit.size
+
+    @property
+    def occupied_bytes(self) -> int:
+        """Block-granular footprint on the device."""
+        return self._unit.occupied_bytes
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the segment has reached its capacity."""
+        return self._unit.size >= self.capacity_bytes
+
+    # ------------------------------------------------------------------
+    def append(self, record: Record) -> RecordLocation:
+        """Append one record; caller must have checked :attr:`is_full`."""
+        if self.is_full:
+            raise StorageError(f"segment {self.segment_id} is full")
+        encoded = encode_record(record)
+        offset = self._unit.append(encoded)
+        self.record_count += 1
+        return RecordLocation(self.segment_id, offset, len(encoded))
+
+    def read(self, location: RecordLocation) -> Record:
+        """Read and decode the record at ``location``."""
+        if location.segment_id != self.segment_id:
+            raise StorageError(
+                f"location {location} does not belong to segment "
+                f"{self.segment_id}"
+            )
+        raw = self._unit.read(location.offset, location.length)
+        record, _end = decode_record(raw)
+        return record
+
+    def scan(self) -> Iterator[Tuple[int, Record]]:
+        """Yield every ``(offset, record)`` — the recovery scan.
+
+        Charges a full sequential read of the segment's programmed pages,
+        then decodes in memory (as a real recovery would).
+        """
+        self.flush()
+        if self._unit.size:
+            image = self._unit.read(0, self._unit.size)
+        else:
+            image = b""
+        yield from scan_records(
+            image,
+            page_size=self._unit.page_size,
+            tolerate_torn_tail=True,
+        )
+
+    def flush(self) -> None:
+        """Force any buffered partial page onto flash."""
+        self._unit.flush()
+
+    def erase(self) -> None:
+        """Erase the segment's blocks, returning them to the device pool."""
+        self._unit.erase()
+
+
+class _FileUnit:
+    """An AOF backing store on the *conventional* filesystem path.
+
+    Used by the block-alignment ablation: same append-only access pattern
+    as :class:`~repro.ssd.native.NativeUnit`, but through the FTL, so
+    mid-page appends cost read-modify-writes and the device GC migrates
+    pages.  The interface mirrors NativeUnit.
+    """
+
+    def __init__(self, fs, tag: str) -> None:
+        from repro.ssd.files import BlockFileSystem, SSDFile  # local: no cycle
+
+        assert isinstance(fs, BlockFileSystem)
+        self._fs = fs
+        self.tag = tag
+        self._file: SSDFile = fs.create(f"aof-{tag}")
+
+    @property
+    def size(self) -> int:
+        return self._file.size
+
+    @property
+    def page_size(self) -> int:
+        return self._fs.page_size
+
+    @property
+    def occupied_bytes(self) -> int:
+        return self._file.page_count * self._fs.page_size
+
+    def append(self, data: bytes) -> int:
+        return self._file.append(data)
+
+    def read(self, offset: int, length: int) -> bytes:
+        return self._file.read(offset, length)
+
+    def flush(self) -> None:
+        """Write-through already; nothing is buffered."""
+
+    def erase(self) -> None:
+        self._fs.delete(self._file.name)
+
+    def discard_unprogrammed(self) -> None:
+        """Write-through: a crash loses nothing beyond the memtable."""
+
+
+class AofManager:
+    """The chain of AOF segments behind one QinDB instance.
+
+    ``backend`` selects the write path: ``"native"`` (default) is the
+    paper's block-aligned native-interface path; ``"filesystem"`` routes
+    the same append-only segments through the conventional FTL-backed
+    filesystem — the ablation showing why the paper bothers with the
+    native interface.
+    """
+
+    def __init__(
+        self,
+        device: SimulatedSSD,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        backend: str = "native",
+    ) -> None:
+        if segment_bytes < device.geometry.block_size:
+            raise StorageError(
+                f"segment size {segment_bytes} smaller than one erase "
+                f"block ({device.geometry.block_size})"
+            )
+        if backend not in ("native", "filesystem"):
+            raise StorageError(f"unknown AOF backend {backend!r}")
+        self.device = device
+        self.segment_bytes = segment_bytes
+        self.backend = backend
+        self._native = NativeBlockInterface(device)
+        self._fs = None
+        if backend == "filesystem":
+            from repro.ssd.files import BlockFileSystem
+            from repro.ssd.ftl import FlashTranslationLayer
+
+            self._fs = BlockFileSystem(FlashTranslationLayer(device))
+        self._segments: Dict[int, AofSegment] = {}
+        self._next_id = 0
+        self._active: AofSegment | None = None
+        #: total payload bytes ever appended (the engine's disk-write side
+        #: of software write amplification)
+        self.bytes_appended = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def segments(self) -> List[AofSegment]:
+        """Live segments in id order."""
+        return [self._segments[i] for i in sorted(self._segments)]
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    @property
+    def active_segment_id(self) -> int | None:
+        """Id of the segment currently receiving appends."""
+        return self._active.segment_id if self._active is not None else None
+
+    def segment(self, segment_id: int) -> AofSegment:
+        try:
+            return self._segments[segment_id]
+        except KeyError:
+            raise StorageError(f"no such AOF segment: {segment_id}") from None
+
+    @property
+    def disk_used_bytes(self) -> int:
+        """Block-granular footprint of all live segments."""
+        return sum(s.occupied_bytes for s in self._segments.values())
+
+    # ------------------------------------------------------------------
+    def append(self, record: Record) -> RecordLocation:
+        """Append a record to the active segment, rolling over if full."""
+        segment = self._active
+        if segment is None or segment.is_full:
+            segment = self._open_segment()
+        location = segment.append(record)
+        self.bytes_appended += location.length
+        return location
+
+    def read(self, location: RecordLocation) -> Record:
+        """Read the record at ``location`` from whichever segment owns it."""
+        return self.segment(location.segment_id).read(location)
+
+    def flush(self) -> None:
+        """Flush the active segment's partial page."""
+        if self._active is not None:
+            self._active.flush()
+
+    def drop_segment(self, segment_id: int) -> None:
+        """Erase a segment and forget it (the GC's final step)."""
+        segment = self._segments.pop(segment_id)
+        if segment is self._active:
+            self._active = None
+        segment.erase()
+
+    def scan_all(self) -> Iterator[Tuple[int, int, Record]]:
+        """Yield ``(segment_id, offset, record)`` across all segments.
+
+        Segments are visited in id order, which is append order — the
+        order recovery must respect so newer records win.
+        """
+        for segment in self.segments:
+            for offset, record in segment.scan():
+                yield segment.segment_id, offset, record
+
+    # ------------------------------------------------------------------
+    def _open_segment(self) -> AofSegment:
+        if self._active is not None:
+            # Close out the previous active segment at a page boundary.
+            self._active.flush()
+        segment_id = self._next_id
+        self._next_id += 1
+        if self._fs is not None:
+            unit = _FileUnit(self._fs, tag=str(segment_id))
+        else:
+            unit = self._native.open_unit(tag=f"aof-{segment_id}")
+        segment = AofSegment(segment_id, unit, self.segment_bytes)
+        self._segments[segment_id] = segment
+        self._active = segment
+        return segment

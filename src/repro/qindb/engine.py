@@ -1,0 +1,448 @@
+"""The QinDB storage engine: memtable + AOFs + lazy GC.
+
+The engine wires the paper's pieces together over one simulated SSD:
+
+* :meth:`QinDB.put` appends the (possibly value-less) record to the active
+  AOF and inserts the skip-list item — no disk sorting, ever;
+* :meth:`QinDB.get` resolves deduplicated items by *traceback*: walk to
+  older versions of the same key until one carries a value;
+* :meth:`QinDB.delete` only sets the ``d`` flag and updates the GC table
+  (plus a small tombstone append so deletes survive recovery);
+* the **lazy GC** collects a segment when its occupancy falls to the
+  threshold, *deferring* while reads are in flight and free space remains;
+  collection re-appends live records and dead-but-referenced records (a
+  newer deduplicated version still resolves to them), then erases the
+  whole segment — block-aligned, so the device GC never runs.
+
+Time: every operation charges its I/O to the simulated device and its CPU
+work (skip-list comparisons) to the device clock, so ``device.now`` deltas
+are operation latencies and counter deltas over time are throughputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import (
+    ConfigError,
+    EngineClosedError,
+    KeyNotFoundError,
+    StorageError,
+)
+from repro.qindb.aof import AofManager, RecordLocation
+from repro.qindb.gctable import GCTable
+from repro.qindb.memtable import IndexItem, Memtable
+from repro.qindb.records import Record, RecordType
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.timing import TimingModel
+
+
+@dataclass(frozen=True)
+class QinDBConfig:
+    """Tunables for one engine instance.
+
+    Defaults follow the paper: 64 MB AOF segments, GC at 25% occupancy,
+    lazy deferral while reads are in flight and free space remains.
+    """
+
+    segment_bytes: int = 64 * 1024 * 1024
+    gc_occupancy_threshold: float = 0.25
+    #: GC stops deferring once the device's free pool shrinks to this many
+    #: blocks ("free disk space" in the paper's deferral rule).
+    gc_defer_min_free_blocks: int = 16
+    #: when False, GC never runs on its own (for ablations).
+    gc_enabled: bool = True
+    #: "native" = the paper's block-aligned path; "filesystem" routes the
+    #: AOFs through the conventional FTL path (ablation A2).
+    aof_backend: str = "native"
+    #: checkpoint the memtable every this-many appended bytes (the
+    #: paper's "checkpointed periodically"); None disables.
+    checkpoint_interval_bytes: Optional[int] = None
+    memtable_seed: int = 0x51DB
+    #: CPU cost charged per skip-list comparison and per operation.
+    cpu_per_step_s: float = 200e-9
+    cpu_per_op_s: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.segment_bytes <= 0:
+            raise ConfigError("segment_bytes must be positive")
+        if not 0.0 < self.gc_occupancy_threshold < 1.0:
+            raise ConfigError("gc_occupancy_threshold must be in (0, 1)")
+        if self.gc_defer_min_free_blocks < 0:
+            raise ConfigError("gc_defer_min_free_blocks must be >= 0")
+        if self.aof_backend not in ("native", "filesystem"):
+            raise ConfigError(f"unknown aof_backend {self.aof_backend!r}")
+        if (
+            self.checkpoint_interval_bytes is not None
+            and self.checkpoint_interval_bytes <= 0
+        ):
+            raise ConfigError("checkpoint_interval_bytes must be positive")
+        if self.cpu_per_step_s < 0 or self.cpu_per_op_s < 0:
+            raise ConfigError("CPU costs must be >= 0")
+
+
+@dataclass
+class QinDBStats:
+    """A point-in-time snapshot of engine counters."""
+
+    user_bytes_written: int
+    user_bytes_read: int
+    aof_bytes_appended: int
+    disk_used_bytes: int
+    memtable_items: int
+    memtable_bytes: int
+    segment_count: int
+    gc_runs: int
+    gc_bytes_reappended: int
+    device_host_bytes_written: int
+    device_total_bytes_written: int
+    device_total_bytes_read: int
+    hardware_write_amplification: float
+    now: float
+
+    @property
+    def software_write_amplification(self) -> float:
+        """Engine bytes appended per user byte written (>= 1.0)."""
+        if self.user_bytes_written == 0:
+            return 1.0
+        return self.aof_bytes_appended / self.user_bytes_written
+
+    @property
+    def total_write_amplification(self) -> float:
+        """Physical device bytes programmed per user byte written."""
+        if self.user_bytes_written == 0:
+            return 1.0
+        return self.device_total_bytes_written / self.user_bytes_written
+
+
+class QinDB:
+    """The Quick-Indexing Database — one storage node's engine."""
+
+    def __init__(
+        self,
+        device: SimulatedSSD,
+        config: QinDBConfig | None = None,
+    ) -> None:
+        self.device = device
+        self.config = config or QinDBConfig()
+        self.aofs = AofManager(
+            device,
+            segment_bytes=self.config.segment_bytes,
+            backend=self.config.aof_backend,
+        )
+        self.memtable = Memtable(seed=self.config.memtable_seed)
+        self.gc_table = GCTable(threshold=self.config.gc_occupancy_threshold)
+        self.user_bytes_written = 0
+        self.user_bytes_read = 0
+        self.gc_runs = 0
+        self.gc_bytes_reappended = 0
+        self.reads_in_flight = 0
+        self._gc_since_checkpoint = False
+        self._closed = False
+        self._sequence = 0
+        #: the newest periodic checkpoint, if auto-checkpointing is on
+        self.latest_checkpoint = None
+        self._bytes_at_last_checkpoint = 0
+
+    @classmethod
+    def with_capacity(
+        cls,
+        capacity_bytes: int,
+        config: QinDBConfig | None = None,
+        timing: TimingModel | None = None,
+    ) -> "QinDB":
+        """Convenience constructor: engine over a fresh device."""
+        geometry = SSDGeometry.from_capacity(capacity_bytes)
+        return cls(SimulatedSSD(geometry, timing=timing), config=config)
+
+    # ------------------------------------------------------------------
+    # Mutated operations (paper Figure 2)
+    # ------------------------------------------------------------------
+    def put(self, key: bytes, version: int, value: Optional[bytes]) -> None:
+        """Store ``(key/version, value)``; ``value=None`` means the pair
+        was deduplicated upstream and arrives value-less."""
+        self._check_open()
+        if not isinstance(key, bytes) or not key:
+            raise StorageError("key must be non-empty bytes")
+        deduplicated = value is None
+        sequence = self._next_sequence()
+        if deduplicated:
+            record = Record(RecordType.PUT_DEDUP, key, version, sequence=sequence)
+        else:
+            record = Record(
+                RecordType.PUT_VALUE, key, version, value, sequence=sequence
+            )
+        location = self.aofs.append(record)
+        self.gc_table.record_appended(location.segment_id, location.length)
+        previous = self.memtable.put(
+            key, version, location, deduplicated, sequence=sequence
+        )
+        if previous is not None and not previous.deleted:
+            # The old record's bytes just became dead; an already-deleted
+            # previous item was accounted dead when it was deleted.
+            self.gc_table.record_dead(
+                previous.location.segment_id, previous.location.length
+            )
+        self.user_bytes_written += len(key) + (0 if value is None else len(value))
+        self._charge_cpu()
+        self._maybe_gc()
+        self._maybe_checkpoint()
+
+    def get(self, key: bytes, version: int) -> bytes:
+        """Fetch the value of ``(key, version)``, tracebacking through
+        deduplicated versions; raises :class:`KeyNotFoundError` if the
+        item is absent or deleted, or if the dedup chain is broken."""
+        self._check_open()
+        item = self.memtable.get(key, version)
+        self._charge_cpu()
+        if item is None or item.deleted:
+            raise KeyNotFoundError(f"no live item for {key!r}/{version}")
+        self.reads_in_flight += 1
+        try:
+            if item.has_value:
+                value = self._read_value(item.location)
+            else:
+                value = self._traceback(key, version)
+            self.user_bytes_read += len(key) + len(value)
+            return value
+        finally:
+            self.reads_in_flight -= 1
+
+    def delete(self, key: bytes, version: int) -> None:
+        """Flag ``(key, version)`` deleted and feed the GC table.
+
+        The data is *not* touched; reclamation happens when the segment's
+        occupancy crosses the threshold and the lazy GC collects it.
+        """
+        self._check_open()
+        item = self.memtable.get(key, version)
+        self._charge_cpu()
+        if item is None or item.deleted:
+            raise KeyNotFoundError(f"no live item for {key!r}/{version}")
+        item.deleted = True
+        self.gc_table.record_dead(item.location.segment_id, item.location.length)
+        # Persist a tombstone so the delete survives a recovery scan.
+        tombstone = Record(
+            RecordType.DELETE, key, version, sequence=self._next_sequence()
+        )
+        location = self.aofs.append(tombstone)
+        self.gc_table.record_appended(location.segment_id, location.length)
+        self.gc_table.record_dead(location.segment_id, location.length)
+        self._maybe_gc()
+
+    def exists(self, key: bytes, version: int) -> bool:
+        """Whether a live (non-deleted) item exists for (key, version)."""
+        self._check_open()
+        item = self.memtable.get(key, version)
+        self._charge_cpu()
+        return item is not None and not item.deleted
+
+    def scan(
+        self, start_key: bytes, end_key: bytes
+    ) -> Iterator[Tuple[bytes, int, bytes]]:
+        """Yield ``(key, version, value)`` for live items in key range.
+
+        This is the range-query capability hash-indexed stores lack (the
+        paper's motivation for a *sorted* memtable).
+        """
+        self._check_open()
+        for key, version, item in self.memtable.scan(start_key, end_key):
+            if item.deleted:
+                continue
+            if item.has_value:
+                yield key, version, self._read_value(item.location)
+            else:
+                yield key, version, self._traceback(key, version)
+
+    # ------------------------------------------------------------------
+    def _read_value(self, location: RecordLocation) -> bytes:
+        record = self.aofs.read(location)
+        return record.value
+
+    def _traceback(self, key: bytes, version: int) -> bytes:
+        """The paper's traceback: nearest older version with a value.
+
+        Older versions are consulted regardless of their ``d`` flag — a
+        deleted record's value remains usable until GC reclaims it, which
+        is exactly why GC must re-append referenced dead records.
+        """
+        for older_version, item in self.memtable.older_versions(key, version):
+            self._charge_cpu()
+            if item.has_value:
+                return self._read_value(item.location)
+        raise KeyNotFoundError(
+            f"dedup chain for {key!r}/{version} reaches no stored value"
+        )
+
+    def _next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    def _charge_cpu(self) -> None:
+        steps = self.memtable.last_search_steps
+        self.device.advance(
+            self.config.cpu_per_op_s + steps * self.config.cpu_per_step_s
+        )
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+
+    # ------------------------------------------------------------------
+    # Lazy garbage collection
+    # ------------------------------------------------------------------
+    def _maybe_gc(self) -> None:
+        if not self.config.gc_enabled:
+            return
+        exclude = set()
+        active = self.aofs.active_segment_id
+        if active is not None:
+            exclude.add(active)
+        victims = self.gc_table.victims(exclude=exclude)
+        if not victims:
+            return
+        if self._should_defer():
+            return
+        # Recycle one file per trigger (the paper GCs per-file): the cost
+        # amortizes across mutations instead of stalling writes in one
+        # burst, which is what keeps QinDB's user-write rate smooth
+        # (Figure 6b).
+        self.collect_segment(victims[0])
+
+    def _maybe_checkpoint(self) -> None:
+        """Periodic checkpointing (paper: "it is checkpointed
+        periodically"): snapshot the memtable every N appended bytes so
+        a crash replays only the tail past the watermark."""
+        interval = self.config.checkpoint_interval_bytes
+        if interval is None:
+            return
+        appended = self.aofs.bytes_appended
+        if appended - self._bytes_at_last_checkpoint < interval:
+            return
+        from repro.qindb.checkpoint import Checkpoint
+
+        if self.latest_checkpoint is not None:
+            self.latest_checkpoint.discard()
+        self.latest_checkpoint = Checkpoint.write(self)
+        self._bytes_at_last_checkpoint = appended
+
+    @property
+    def checkpoint_valid(self) -> bool:
+        """Whether :attr:`latest_checkpoint` still matches the AOFs.
+
+        A GC run moves records, invalidating the checkpoint's locations;
+        recovery then falls back to the full scan.
+        """
+        return self.latest_checkpoint is not None and not self._gc_since_checkpoint
+
+    def _should_defer(self) -> bool:
+        """The paper's lazy rule: defer while reads are in flight and
+        there is still free disk space."""
+        if self.reads_in_flight <= 0:
+            return False
+        return self.device.free_block_count > self.config.gc_defer_min_free_blocks
+
+    def collect_segment(self, segment_id: int) -> None:
+        """Collect one AOF segment (paper Figure 2, steps 3-6).
+
+        Live records and dead records still referenced by newer
+        deduplicated versions are re-appended (and the skip-list offsets
+        updated); unreferenced dead records vanish, and their flagged
+        items are dropped from the skip list.  Finally the segment is
+        erased wholesale.
+        """
+        self._check_open()
+        if segment_id == self.aofs.active_segment_id:
+            raise StorageError("cannot collect the active segment")
+        segment = self.aofs.segment(segment_id)
+        for offset, record in segment.scan():
+            location = RecordLocation(segment_id, offset, record.encoded_size)
+            if record.type is RecordType.DELETE:
+                self._gc_tombstone(record)
+                continue
+            item = self.memtable.get(record.key, record.version)
+            if item is None or item.location != location:
+                continue  # superseded or already moved; dies with segment
+            if not item.deleted:
+                self._reappend(record, item)
+            elif record.has_value and self._is_referenced(
+                record.key, record.version
+            ):
+                # Dead but a newer deduplicated version resolves here.
+                self._reappend(record, item)
+            else:
+                self.memtable.drop(record.key, record.version)
+        self.gc_table.forget(segment_id)
+        self.aofs.drop_segment(segment_id)
+        self.gc_runs += 1
+        self._gc_since_checkpoint = True
+
+    def _gc_tombstone(self, record: Record) -> None:
+        """Carry a delete tombstone forward while its target item lives."""
+        item = self.memtable.get(record.key, record.version)
+        if item is None or not item.deleted:
+            return
+        location = self.aofs.append(record)
+        self.gc_table.record_appended(location.segment_id, location.length)
+        self.gc_table.record_dead(location.segment_id, location.length)
+        self.gc_bytes_reappended += location.length
+
+    def _reappend(self, record: Record, item: IndexItem) -> None:
+        location = self.aofs.append(record)
+        self.gc_table.record_appended(location.segment_id, location.length)
+        item.location = location
+        if item.deleted:
+            # Referenced-but-dead bytes stay "dead" in the accounting so
+            # their new segment can still reach the GC threshold.
+            self.gc_table.record_dead(location.segment_id, location.length)
+        self.gc_bytes_reappended += location.length
+
+    def _is_referenced(self, key: bytes, version: int) -> bool:
+        """Does some newer deduplicated version resolve to this record?
+
+        Walk newer versions of the key while they are deduplicated: a
+        live deduplicated item means GET on it would traceback here.  The
+        walk stops at the first value-bearing newer version, which shadows
+        this record.
+        """
+        for _newer_version, item in self.memtable.newer_versions(key, version):
+            if item.has_value:
+                return False
+            if not item.deleted:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> QinDBStats:
+        """Snapshot every counter the experiments plot."""
+        counters = self.device.counters
+        return QinDBStats(
+            user_bytes_written=self.user_bytes_written,
+            user_bytes_read=self.user_bytes_read,
+            aof_bytes_appended=self.aofs.bytes_appended,
+            disk_used_bytes=self.aofs.disk_used_bytes,
+            memtable_items=len(self.memtable),
+            memtable_bytes=self.memtable.approximate_bytes,
+            segment_count=self.aofs.segment_count,
+            gc_runs=self.gc_runs,
+            gc_bytes_reappended=self.gc_bytes_reappended,
+            device_host_bytes_written=counters.host_bytes_written,
+            device_total_bytes_written=counters.total_bytes_written,
+            device_total_bytes_read=counters.total_bytes_read,
+            hardware_write_amplification=counters.hardware_write_amplification,
+            now=self.device.now,
+        )
+
+    def flush(self) -> None:
+        """Flush buffered partial pages to flash."""
+        self.aofs.flush()
+
+    def close(self) -> None:
+        """Flush and mark the engine closed."""
+        if not self._closed:
+            self.aofs.flush()
+            self._closed = True

@@ -1,0 +1,92 @@
+"""The in-memory GC table: per-segment occupancy accounting.
+
+The paper's DEL path "updates the occupancy ratio of the corresponding
+file containing the deleted key and value, which are maintained in a GC
+table in the memory", and GC fires when a file's occupancy reaches the
+threshold (25% in the evaluation).  This module is that table; the actual
+collection lives in the engine, which owns the memtable and the AOFs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import StorageError
+
+
+@dataclass
+class SegmentOccupancy:
+    """Live/dead byte accounting for one AOF segment."""
+
+    segment_id: int
+    total_bytes: int = 0
+    dead_bytes: int = 0
+
+    @property
+    def live_bytes(self) -> int:
+        return self.total_bytes - self.dead_bytes
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of appended bytes still live (1.0 for empty segments)."""
+        if self.total_bytes == 0:
+            return 1.0
+        return self.live_bytes / self.total_bytes
+
+
+class GCTable:
+    """Tracks occupancy per segment and nominates GC victims."""
+
+    def __init__(self, threshold: float = 0.25) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise StorageError(f"GC threshold must be in (0, 1), got {threshold}")
+        self.threshold = threshold
+        self._segments: Dict[int, SegmentOccupancy] = {}
+
+    # ------------------------------------------------------------------
+    def entry(self, segment_id: int) -> SegmentOccupancy:
+        """The accounting row for a segment, created on first touch."""
+        row = self._segments.get(segment_id)
+        if row is None:
+            row = SegmentOccupancy(segment_id)
+            self._segments[segment_id] = row
+        return row
+
+    def record_appended(self, segment_id: int, nbytes: int) -> None:
+        """Account freshly appended record bytes to a segment."""
+        self.entry(segment_id).total_bytes += nbytes
+
+    def record_dead(self, segment_id: int, nbytes: int) -> None:
+        """Account record bytes that just became dead (delete/overwrite)."""
+        row = self.entry(segment_id)
+        row.dead_bytes += nbytes
+        if row.dead_bytes > row.total_bytes:
+            raise StorageError(
+                f"segment {segment_id} accounting corrupt: "
+                f"dead {row.dead_bytes} > total {row.total_bytes}"
+            )
+
+    def forget(self, segment_id: int) -> None:
+        """Drop a segment's row after the segment is erased."""
+        self._segments.pop(segment_id, None)
+
+    # ------------------------------------------------------------------
+    def occupancy(self, segment_id: int) -> float:
+        """Occupancy ratio of one segment (1.0 if never touched)."""
+        row = self._segments.get(segment_id)
+        return 1.0 if row is None else row.occupancy
+
+    def victims(self, exclude: frozenset | set = frozenset()) -> List[int]:
+        """Segments at or below the occupancy threshold, worst first."""
+        candidates = [
+            row
+            for row in self._segments.values()
+            if row.segment_id not in exclude and row.occupancy <= self.threshold
+        ]
+        candidates.sort(key=lambda row: (row.occupancy, row.segment_id))
+        return [row.segment_id for row in candidates]
+
+    def snapshot(self) -> Dict[int, float]:
+        """segment_id -> occupancy, for monitoring and tests."""
+        return {sid: row.occupancy for sid, row in self._segments.items()}

@@ -1,0 +1,156 @@
+"""QinDB's memtable: sorted ``(key, version)`` items over a skip list.
+
+Each item is the paper's skip-list entry — the AOF offset of the record
+plus the ``r`` flag (``deduplicated``: the value field was removed
+upstream) and the ``d`` flag (``deleted``).  Items of one key sort
+adjacent in increasing version order, so:
+
+* GET's *traceback* ("find the nearest older version that still carries a
+  value") is a descending neighbour walk, and
+* GC's *referent check* ("is this dead record still resolved to by a newer
+  deduplicated version?") is an ascending neighbour walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.qindb.aof import RecordLocation
+from repro.qindb.skiplist import SkipListMap
+
+#: a (key, version) composite; tuples compare key-first then version,
+#: giving exactly the paper's "same keys naturally aggregated in the order
+#: of increasing version numbers".
+ItemKey = Tuple[bytes, int]
+
+
+@dataclass
+class IndexItem:
+    """One memtable entry: where the record lives, plus the two flags."""
+
+    location: RecordLocation
+    deduplicated: bool = False  # the paper's ``r`` flag
+    deleted: bool = False  # the paper's ``d`` flag
+    #: sequence number of the put that created this item (recovery order)
+    sequence: int = 0
+
+    @property
+    def has_value(self) -> bool:
+        """Whether the record at ``location`` carries a value field."""
+        return not self.deduplicated
+
+
+class Memtable:
+    """The in-memory index: every live (key, version) the engine knows."""
+
+    def __init__(self, seed: int = 0x51DB) -> None:
+        self._items = SkipListMap(seed=seed)
+        #: approximate resident bytes (keys + per-item overhead), the ``M``
+        #: term in the RUM accounting
+        self.approximate_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        key: bytes,
+        version: int,
+        location: RecordLocation,
+        deduplicated: bool,
+        sequence: int = 0,
+    ) -> Optional[IndexItem]:
+        """Insert or replace the item for (key, version).
+
+        Returns the *previous* item if one was replaced (its record bytes
+        just became dead), else None.
+        """
+        item_key: ItemKey = (key, version)
+        previous = self._items.get(item_key, default=None)
+        item = IndexItem(
+            location=location, deduplicated=deduplicated, sequence=sequence
+        )
+        if self._items.insert(item_key, item):
+            self.approximate_bytes += len(key) + 8 + 40
+        return previous
+
+    def get(self, key: bytes, version: int) -> Optional[IndexItem]:
+        """The item for (key, version), or None."""
+        return self._items.get((key, version), default=None)
+
+    def mark_deleted(self, key: bytes, version: int) -> Optional[IndexItem]:
+        """Set the ``d`` flag; returns the item, or None if absent."""
+        item = self.get(key, version)
+        if item is not None:
+            item.deleted = True
+        return item
+
+    def drop(self, key: bytes, version: int) -> None:
+        """Remove the item entirely (GC of an unreferenced dead record)."""
+        self._items.remove((key, version))
+        self.approximate_bytes -= len(key) + 8 + 40
+
+    # ------------------------------------------------------------------
+    # Neighbourhood walks
+    # ------------------------------------------------------------------
+    def older_versions(
+        self, key: bytes, version: int
+    ) -> Iterator[Tuple[int, IndexItem]]:
+        """Items of ``key`` with smaller versions, newest first."""
+        for (item_key, item_version), item in self._items.items_before(
+            (key, version)
+        ):
+            if item_key != key:
+                return
+            yield item_version, item
+
+    def newer_versions(
+        self, key: bytes, version: int
+    ) -> Iterator[Tuple[int, IndexItem]]:
+        """Items of ``key`` with larger versions, oldest first."""
+        for (item_key, item_version), item in self._items.items_from(
+            (key, version), inclusive=False
+        ):
+            if item_key != key:
+                return
+            yield item_version, item
+
+    def versions_of(self, key: bytes) -> Iterator[Tuple[int, IndexItem]]:
+        """All items of ``key`` in increasing version order."""
+        for (item_key, item_version), item in self._items.items_from(
+            (key, 0), inclusive=True
+        ):
+            if item_key != key:
+                return
+            yield item_version, item
+
+    def latest_version(self, key: bytes) -> Optional[Tuple[int, IndexItem]]:
+        """The newest item of ``key``, or None."""
+        entry = self._items.lower((key, 0xFFFFFFFFFFFFFFFF + 1))
+        if entry is None:
+            return None
+        (item_key, item_version), item = entry
+        if item_key != key:
+            return None
+        return item_version, item
+
+    def scan(
+        self, start_key: bytes, end_key: bytes
+    ) -> Iterator[Tuple[bytes, int, IndexItem]]:
+        """Items with ``start_key <= key < end_key``, sorted."""
+        for (item_key, item_version), item in self._items.range(
+            (start_key, 0), (end_key, 0)
+        ):
+            yield item_key, item_version, item
+
+    def items(self) -> Iterator[Tuple[bytes, int, IndexItem]]:
+        """Every item in sorted order."""
+        for (item_key, item_version), item in self._items:
+            yield item_key, item_version, item
+
+    @property
+    def last_search_steps(self) -> int:
+        """Comparisons in the most recent skip-list search (cost model)."""
+        return self._items.last_search_steps

@@ -1,0 +1,181 @@
+"""Binary framing of AOF records.
+
+Every datum QinDB persists is one framed record::
+
+    magic(1) type(1) key_len(2) value_len(4) version(8) seq(8) crc32(4)
+    key value
+
+* ``magic`` is a non-zero constant, so page padding (zero bytes) inserted
+  by the block-aligned writer is unambiguous during sequential recovery
+  scans;
+* ``seq`` is the engine-wide logical sequence number of the mutation.
+  GC re-appends a record with its *original* sequence, so the recovery
+  scan can order mutations correctly even though collection physically
+  moves old records past newer ones;
+* ``crc32`` covers header fields (except itself) plus key and value, so
+  transmission or media corruption surfaces as
+  :class:`~repro.errors.CorruptionError` instead of silent bad data;
+* a ``PUT_DEDUP`` record is the paper's value-less pair: the key arrived
+  with its value removed by Bifrost's deduplication;
+* a ``DELETE`` record is a tombstone — the paper applies deletes in memory
+  only, but persisting nothing for them would lose them across recovery,
+  so recovery-relevant deletes are framed like everything else.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import CorruptionError, StorageError, TruncatedRecordError
+
+MAGIC = 0xD1
+#: magic, type, key_len, value_len, version, sequence, crc
+_HEADER = struct.Struct("<BBHLQQL")
+HEADER_SIZE = _HEADER.size
+
+MAX_KEY_LEN = 0xFFFF
+MAX_VALUE_LEN = 0xFFFFFFFF
+
+
+class RecordType(enum.IntEnum):
+    """Kinds of framed records in an AOF."""
+
+    PUT_VALUE = 1  # complete key-value pair
+    PUT_DEDUP = 2  # deduplicated pair: key + version, value removed upstream
+    DELETE = 3  # tombstone for (key, version)
+
+
+@dataclass(frozen=True)
+class Record:
+    """One decoded AOF record."""
+
+    type: RecordType
+    key: bytes
+    version: int
+    value: bytes = b""
+    sequence: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.key) > MAX_KEY_LEN:
+            raise StorageError(f"key too long: {len(self.key)} bytes")
+        if len(self.value) > MAX_VALUE_LEN:
+            raise StorageError(f"value too long: {len(self.value)} bytes")
+        if self.version < 0 or self.version > 0xFFFFFFFFFFFFFFFF:
+            raise StorageError(f"version out of range: {self.version}")
+        if self.sequence < 0 or self.sequence > 0xFFFFFFFFFFFFFFFF:
+            raise StorageError(f"sequence out of range: {self.sequence}")
+        if self.type is not RecordType.PUT_VALUE and self.value:
+            raise StorageError(f"{self.type.name} records carry no value")
+
+    @property
+    def encoded_size(self) -> int:
+        """Bytes this record occupies on disk."""
+        return HEADER_SIZE + len(self.key) + len(self.value)
+
+    @property
+    def has_value(self) -> bool:
+        """Whether the record stores an actual value field."""
+        return self.type is RecordType.PUT_VALUE
+
+
+def _crc(
+    record_type: int, version: int, sequence: int, key: bytes, value: bytes
+) -> int:
+    crc = zlib.crc32(bytes([record_type]))
+    crc = zlib.crc32(version.to_bytes(8, "little"), crc)
+    crc = zlib.crc32(sequence.to_bytes(8, "little"), crc)
+    crc = zlib.crc32(key, crc)
+    crc = zlib.crc32(value, crc)
+    return crc & 0xFFFFFFFF
+
+
+def encode_record(record: Record) -> bytes:
+    """Serialize a record to its on-disk framing."""
+    header = _HEADER.pack(
+        MAGIC,
+        int(record.type),
+        len(record.key),
+        len(record.value),
+        record.version,
+        record.sequence,
+        _crc(
+            int(record.type),
+            record.version,
+            record.sequence,
+            record.key,
+            record.value,
+        ),
+    )
+    return header + record.key + record.value
+
+
+def decode_record(buffer: bytes, offset: int = 0) -> Tuple[Record, int]:
+    """Decode one record at ``offset``; returns (record, next_offset).
+
+    Raises :class:`CorruptionError` on bad magic, truncation, or CRC
+    mismatch.
+    """
+    if offset + HEADER_SIZE > len(buffer):
+        raise TruncatedRecordError(
+            f"truncated header at offset {offset} "
+            f"(need {HEADER_SIZE}, have {len(buffer) - offset})"
+        )
+    magic, rtype, key_len, value_len, version, sequence, crc = (
+        _HEADER.unpack_from(buffer, offset)
+    )
+    if magic != MAGIC:
+        raise CorruptionError(f"bad magic 0x{magic:02x} at offset {offset}")
+    body_start = offset + HEADER_SIZE
+    body_end = body_start + key_len + value_len
+    if body_end > len(buffer):
+        raise TruncatedRecordError(
+            f"truncated body at offset {offset}: record needs "
+            f"{body_end - offset} bytes, {len(buffer) - offset} available"
+        )
+    key = bytes(buffer[body_start : body_start + key_len])
+    value = bytes(buffer[body_start + key_len : body_end])
+    if _crc(rtype, version, sequence, key, value) != crc:
+        raise CorruptionError(f"CRC mismatch for record at offset {offset}")
+    try:
+        record_type = RecordType(rtype)
+    except ValueError:
+        raise CorruptionError(f"unknown record type {rtype} at {offset}") from None
+    return Record(record_type, key, version, value, sequence), body_end
+
+
+def scan_records(
+    buffer: bytes,
+    page_size: Optional[int] = None,
+    tolerate_torn_tail: bool = False,
+) -> Iterator[Tuple[int, Record]]:
+    """Yield ``(offset, record)`` for every record in a segment image.
+
+    Zero bytes where a record header should start are page padding from
+    the block-aligned writer; when ``page_size`` is given the scan skips to
+    the next page boundary and continues (this is the recovery scan).
+
+    With ``tolerate_torn_tail`` a truncated record at the very end of the
+    buffer terminates the scan silently — a crash can catch the final
+    record half-programmed, and recovery must treat that as end-of-log.
+    Truncation anywhere else, or a CRC failure, still raises.
+    """
+    offset = 0
+    length = len(buffer)
+    while offset < length:
+        if buffer[offset] == 0:
+            if page_size is None:
+                return
+            offset = (offset // page_size + 1) * page_size
+            continue
+        try:
+            record, next_offset = decode_record(buffer, offset)
+        except TruncatedRecordError:
+            if tolerate_torn_tail:
+                return
+            raise
+        yield offset, record
+        offset = next_offset

@@ -1,0 +1,187 @@
+"""A skip list (Pugh, CACM 1990) — the paper's memtable data structure.
+
+A probabilistic sorted map with expected O(log n) search, insert, and
+delete, plus ordered traversal from any key.  QinDB keys it by
+``(key_bytes, version)`` so all versions of one key sit adjacent "in the
+order of increasing version numbers", which is what makes GET's traceback
+and GC's referent checks cheap neighbourhood walks.
+
+The level generator is seeded, so structures (and therefore comparison
+counts and simulated search costs) are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import KeyNotFoundError
+
+MAX_LEVEL = 32
+_P = 0.25
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Any, value: Any, level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: List[Optional["_Node"]] = [None] * level
+
+
+class SkipListMap:
+    """A sorted mapping with ordered iteration and neighbour queries."""
+
+    def __init__(self, seed: int = 0x51DB) -> None:
+        self._head = _Node(None, None, MAX_LEVEL)
+        self._level = 1
+        self._length = 0
+        self._random = random.Random(seed)
+        #: comparisons performed by the most recent search, for cost models
+        self.last_search_steps = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, key: Any) -> bool:
+        return self._find(key) is not None
+
+    # ------------------------------------------------------------------
+    def _random_level(self) -> int:
+        level = 1
+        while level < MAX_LEVEL and self._random.random() < _P:
+            level += 1
+        return level
+
+    def _find_predecessors(self, key: Any) -> List[_Node]:
+        """Per-level nodes after which ``key`` would be inserted."""
+        update: List[_Node] = [self._head] * MAX_LEVEL
+        node = self._head
+        steps = 0
+        for level in range(self._level - 1, -1, -1):
+            while node.forward[level] is not None and node.forward[level].key < key:
+                node = node.forward[level]
+                steps += 1
+            update[level] = node
+        self.last_search_steps = steps + self._level
+        return update
+
+    def _find(self, key: Any) -> Optional[_Node]:
+        node = self._find_predecessors(key)[0].forward[0]
+        if node is not None and node.key == key:
+            return node
+        return None
+
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> bool:
+        """Insert or replace; returns True if the key was new."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is not None and node.key == key:
+            node.value = value
+            return False
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(key, value, level)
+        for i in range(level):
+            node.forward[i] = update[i].forward[i]
+            update[i].forward[i] = node
+        self._length += 1
+        return True
+
+    def get(self, key: Any, default: Any = KeyNotFoundError) -> Any:
+        """Look up ``key``; raises :class:`KeyNotFoundError` by default."""
+        node = self._find(key)
+        if node is not None:
+            return node.value
+        if default is KeyNotFoundError:
+            raise KeyNotFoundError(f"key not in skip list: {key!r}")
+        return default
+
+    def remove(self, key: Any) -> Any:
+        """Delete ``key`` and return its value; raises if absent."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is None or node.key != key:
+            raise KeyNotFoundError(f"key not in skip list: {key!r}")
+        for i in range(len(node.forward)):
+            if update[i].forward[i] is node:
+                update[i].forward[i] = node.forward[i]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._length -= 1
+        return node.value
+
+    # ------------------------------------------------------------------
+    # Ordered navigation
+    # ------------------------------------------------------------------
+    def first(self) -> Optional[Tuple[Any, Any]]:
+        """The smallest (key, value), or None when empty."""
+        node = self._head.forward[0]
+        return None if node is None else (node.key, node.value)
+
+    def floor(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Greatest entry with ``entry.key <= key``, or None."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is not None and node.key == key:
+            return (node.key, node.value)
+        prev = update[0]
+        if prev is self._head:
+            return None
+        return (prev.key, prev.value)
+
+    def lower(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Greatest entry with ``entry.key < key``, or None."""
+        prev = self._find_predecessors(key)[0]
+        if prev is self._head:
+            return None
+        return (prev.key, prev.value)
+
+    def ceiling(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Smallest entry with ``entry.key >= key``, or None."""
+        node = self._find_predecessors(key)[0].forward[0]
+        return None if node is None else (node.key, node.value)
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Tuple[Any, Any]]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield (node.key, node.value)
+            node = node.forward[0]
+
+    def items_from(self, key: Any, inclusive: bool = True) -> Iterator[Tuple[Any, Any]]:
+        """Ascending entries starting at ``key`` (or just after it)."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is not None and node.key == key and not inclusive:
+            node = node.forward[0]
+        while node is not None:
+            yield (node.key, node.value)
+            node = node.forward[0]
+
+    def range(self, start: Any, end: Any) -> Iterator[Tuple[Any, Any]]:
+        """Entries with ``start <= key < end`` in ascending order."""
+        for key, value in self.items_from(start, inclusive=True):
+            if not key < end:
+                return
+            yield (key, value)
+
+    def items_before(self, key: Any) -> Iterator[Tuple[Any, Any]]:
+        """Descending entries strictly below ``key``.
+
+        Skip lists have no backward pointers; this walks down one
+        predecessor at a time (an O(log n) search per step), which is fine
+        for the short version chains GET traceback inspects.
+        """
+        current = key
+        while True:
+            entry = self.lower(current)
+            if entry is None:
+                return
+            yield entry
+            current = entry[0]

@@ -1,0 +1,132 @@
+"""The discrete-event simulator: a clock plus an ordered event queue.
+
+Events are totally ordered by ``(time, sequence_number)`` so runs are
+deterministic regardless of hashing or insertion patterns.  The public
+surface mirrors SimPy's environment: :meth:`process`, :meth:`timeout`,
+:meth:`event`, :meth:`run`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.simulation.events import AllOf, AnyOf, Event, Process, Timeout
+
+
+class Simulator:
+    """A deterministic discrete-event simulation environment.
+
+    >>> sim = Simulator()
+    >>> def hello(sim):
+    ...     yield sim.timeout(3.0)
+    ...     return sim.now
+    >>> proc = sim.process(hello(sim))
+    >>> sim.run()
+    >>> proc.value
+    3.0
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Event construction helpers
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered event owned by this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a process from ``generator`` and return its handle."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """An event firing once all ``events`` succeed."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """An event firing once any of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Enqueue a triggered event to be processed after ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay!r}")
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event queue went backwards in time")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks or ():
+            callback(event)
+        if event._ok is False and not callbacks:
+            # A failed event (or crashed process) nobody waited for would
+            # otherwise vanish silently; surface it to the caller of run().
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be ``None`` (drain the queue), a number (simulated
+        deadline), or an :class:`Event` (stop when it is processed and
+        return its value, re-raising its exception if it failed).
+        """
+        stop_event: Event | None = None
+        deadline = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(
+                    f"run(until={deadline}) is before now={self._now}"
+                )
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > deadline:
+                self._now = deadline
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.processed:
+                raise SimulationError(
+                    "queue drained before the awaited event triggered"
+                )
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

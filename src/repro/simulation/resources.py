@@ -1,0 +1,96 @@
+"""Capacity-limited resources and FIFO stores for simulation processes.
+
+:class:`Resource` models a pool of interchangeable slots (relay node work
+slots, node service threads).  :class:`Store` is an unbounded FIFO queue of
+items (slice inboxes, work queues) whose ``get`` blocks until an item is
+available.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.simulation.events import Event
+from repro.simulation.kernel import Simulator
+
+
+class Resource:
+    """A pool of ``capacity`` slots acquired and released by processes.
+
+    Usage inside a process::
+
+        req = resource.acquire()
+        yield req
+        try:
+            ...  # hold the slot
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of processes waiting for a slot."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that succeeds once a slot is held."""
+        event = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release one held slot, waking the longest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a held slot")
+        if self._waiters:
+            # Hand the slot directly to the next waiter; _in_use unchanged.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """An unbounded FIFO queue connecting producer and consumer processes."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest blocked ``get`` if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that succeeds with the next item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

@@ -1,0 +1,42 @@
+"""A page/block-accurate simulated SSD.
+
+The paper's storage results hinge on two properties of flash devices:
+
+* writes happen at *page* granularity (4 KB) but erases happen at *block*
+  granularity (256 KB = 64 pages), so in-place updates force the device's
+  own garbage collector to migrate live pages — **hardware write
+  amplification** (paper Figures 3 and 4);
+* a host that writes and erases in block-aligned units through the native
+  interface sidesteps the device GC entirely.
+
+This package implements both paths over one device:
+
+* :class:`SimulatedSSD` — the device: geometry, timing model, and firmware
+  counters (the paper's ``Sys Read`` / ``Sys Write`` series come from
+  exactly these counters);
+* :class:`FlashTranslationLayer` — page-mapped FTL with greedy victim
+  selection, used by the conventional filesystem path;
+* :class:`BlockFileSystem` — a flat file layer over the FTL (what the LSM
+  baseline writes through);
+* :class:`NativeBlockInterface` — open-channel-style block allocate /
+  append / erase (what QinDB's AOFs write through).
+"""
+
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.files import BlockFileSystem, SSDFile
+from repro.ssd.ftl import FlashTranslationLayer
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.native import NativeBlockInterface
+from repro.ssd.stats import DeviceCounters
+from repro.ssd.timing import TimingModel
+
+__all__ = [
+    "BlockFileSystem",
+    "DeviceCounters",
+    "FlashTranslationLayer",
+    "NativeBlockInterface",
+    "SSDFile",
+    "SSDGeometry",
+    "SimulatedSSD",
+    "TimingModel",
+]

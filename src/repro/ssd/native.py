@@ -1,0 +1,184 @@
+"""The SSD's native programming interface: host-managed, block-aligned.
+
+This models the open-channel-style path the paper uses for QinDB: the host
+allocates whole erase blocks, fills them with strictly sequential page
+programs, and erases them explicitly.  The device never remaps or migrates
+pages on this path, so hardware write amplification is 1.0 by construction
+— "GC only targets invalid blocks, eliminating write amplification".
+
+A :class:`NativeUnit` is a growable chain of blocks with an append cursor
+and a page-fill buffer: bytes accumulate until a page is full, then the
+page is programmed.  ``flush`` pads and programs the final partial page
+(padding wastes the tail of that page, exactly as a real block-aligned
+writer would).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import OutOfRangeError, StorageError
+from repro.ssd.device import Block, SimulatedSSD
+
+
+class NativeUnit:
+    """A block-aligned, append-only storage unit on the raw device."""
+
+    def __init__(self, device: SimulatedSSD, tag: str) -> None:
+        self._device = device
+        self.tag = tag
+        self._blocks: List[Block] = []
+        self._data = bytearray()  # logical contents, including pad bytes
+        self._programmed_pages = 0
+        self._pending = bytearray()  # bytes not yet filling a whole page
+        self._erased = False
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Appended payload bytes (programmed + still buffered)."""
+        return len(self._data) + len(self._pending)
+
+    @property
+    def page_size(self) -> int:
+        """Device page size (padding granularity of this unit)."""
+        return self._device.geometry.page_size
+
+    def discard_unprogrammed(self) -> None:
+        """Crash semantics: drop bytes that never reached flash."""
+        self._pending.clear()
+        self._data = self._data[
+            : self._programmed_pages * self._device.geometry.page_size
+        ]
+
+    @property
+    def programmed_bytes(self) -> int:
+        """Bytes physically on flash (page-granular, includes padding)."""
+        return self._programmed_pages * self._device.geometry.page_size
+
+    @property
+    def block_count(self) -> int:
+        """Erase blocks this unit currently owns."""
+        return len(self._blocks)
+
+    @property
+    def occupied_bytes(self) -> int:
+        """Block-granular footprint on the device."""
+        return len(self._blocks) * self._device.geometry.block_size
+
+    def _check_live(self) -> None:
+        if self._erased:
+            raise StorageError(f"native unit {self.tag!r} was erased")
+
+    # ------------------------------------------------------------------
+    def append(self, data: bytes) -> int:
+        """Append ``data``; returns the logical offset it begins at.
+
+        Whole pages are programmed as they fill; a trailing partial page
+        stays in the fill buffer until more data arrives or :meth:`flush`.
+        """
+        self._check_live()
+        offset = self.size
+        if not data:
+            return offset
+        page_size = self._device.geometry.page_size
+        self._pending.extend(data)
+        while len(self._pending) >= page_size:
+            page = self._pending[:page_size]
+            del self._pending[:page_size]
+            self._program_page(bytes(page))
+        return offset
+
+    def flush(self) -> None:
+        """Pad and program any buffered partial page."""
+        self._check_live()
+        if not self._pending:
+            return
+        page_size = self._device.geometry.page_size
+        page = bytes(self._pending) + b"\x00" * (page_size - len(self._pending))
+        self._pending.clear()
+        self._program_page(page)
+        # Padding becomes part of the logical stream so offsets stay
+        # stable: subsequent appends begin on the next page boundary.
+        # (_program_page already appended the padded page to _data.)
+
+    def _program_page(self, page: bytes) -> None:
+        block = self._current_block()
+        self._device.program(block.block_id, 1, source="host")
+        self._data.extend(page)
+        self._programmed_pages += 1
+
+    def _current_block(self) -> Block:
+        if self._blocks:
+            block = self._blocks[-1]
+            if block.write_ptr < self._device.geometry.pages_per_block:
+                return block
+        block = self._device.allocate_block(f"native:{self.tag}")
+        self._blocks.append(block)
+        return block
+
+    # ------------------------------------------------------------------
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset``, charging page reads.
+
+        Reads may cover buffered (not yet programmed) bytes; only the
+        programmed pages touched are charged to the device.
+        """
+        self._check_live()
+        if offset < 0 or length < 0:
+            raise OutOfRangeError(f"bad read range: offset={offset}, len={length}")
+        end = offset + length
+        if end > self.size:
+            raise OutOfRangeError(
+                f"read [{offset}, {end}) past end ({self.size}) of "
+                f"native unit {self.tag!r}"
+            )
+        if length == 0:
+            return b""
+        page_size = self._device.geometry.page_size
+        per_block = self._device.geometry.pages_per_block
+        first_page = offset // page_size
+        last_page = (end - 1) // page_size
+        # Charge one striped read per block touched (contiguous pages in a
+        # block transfer together, like a real multi-page read command).
+        page = first_page
+        while page <= last_page and page < self._programmed_pages:
+            block_index = page // per_block
+            block_end = min(
+                (block_index + 1) * per_block - 1,
+                last_page,
+                self._programmed_pages - 1,
+            )
+            npages = block_end - page + 1
+            self._device.read(
+                self._blocks[block_index].block_id, npages, source="host"
+            )
+            page = block_end + 1
+        combined = self._data + self._pending
+        return bytes(combined[offset:end])
+
+    def erase(self) -> None:
+        """Erase every block this unit owns and drop its contents."""
+        self._check_live()
+        for block in self._blocks:
+            self._device.erase_block(block.block_id)
+        self._blocks = []
+        self._data = bytearray()
+        self._pending = bytearray()
+        self._programmed_pages = 0
+        self._erased = True
+
+
+class NativeBlockInterface:
+    """Factory for block-aligned storage units on one device."""
+
+    def __init__(self, device: SimulatedSSD) -> None:
+        self.device = device
+        self._sequence = 0
+        self._live_units: int = 0
+
+    def open_unit(self, tag: str = "") -> NativeUnit:
+        """Create a new empty unit (an AOF segment, a checkpoint, ...)."""
+        self._sequence += 1
+        label = tag or f"unit-{self._sequence}"
+        return NativeUnit(self.device, label)

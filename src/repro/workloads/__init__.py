@@ -1,0 +1,21 @@
+"""Workload generators and replay harnesses for the experiments."""
+
+from repro.workloads.kvtrace import (
+    KVOp,
+    OpKind,
+    TraceReplayResult,
+    replay_trace,
+)
+from repro.workloads.fig5 import Fig5Workload, Fig5WorkloadConfig
+from repro.workloads.month import MonthlyTrace, MonthlyTraceConfig
+
+__all__ = [
+    "Fig5Workload",
+    "Fig5WorkloadConfig",
+    "KVOp",
+    "MonthlyTrace",
+    "MonthlyTraceConfig",
+    "OpKind",
+    "TraceReplayResult",
+    "replay_trace",
+]

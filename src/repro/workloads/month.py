@@ -1,0 +1,78 @@
+"""The one-month production trace behind Figures 9 and 10.
+
+The paper analyzes a month of system logs covering 10 index versions with
+daily deduplication ratios swinging between ~23% and ~80%.  We synthesize
+a 30-day schedule with that range and shape: a smooth seasonal swell (low
+dedup early, a mid-month peak near 80%) plus day-to-day jitter, and one
+hard dip (the paper's "early day of the month" at 23%).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MonthlyTraceConfig:
+    """Shape of the synthesized month."""
+
+    days: int = 30
+    min_dedup: float = 0.23
+    max_dedup: float = 0.80
+    jitter: float = 0.05
+    dip_day: int = 3  # the early-month 23% dip
+    peak_day: int = 15  # the mid-month ~80% peak
+    seed: int = 9
+
+    def __post_init__(self) -> None:
+        if self.days < 1:
+            raise ConfigError("days must be >= 1")
+        if not 0.0 <= self.min_dedup < self.max_dedup <= 1.0:
+            raise ConfigError("need 0 <= min_dedup < max_dedup <= 1")
+        if not 0.0 <= self.jitter < 0.5:
+            raise ConfigError("jitter must be in [0, 0.5)")
+
+
+@dataclass(frozen=True)
+class DaySpec:
+    """One day's planned update."""
+
+    day: int
+    dedup_ratio: float
+
+    @property
+    def mutation_rate(self) -> float:
+        """The corpus mutation rate producing this dedup ratio."""
+        return 1.0 - self.dedup_ratio
+
+
+class MonthlyTrace:
+    """Generates the per-day dedup-ratio schedule."""
+
+    def __init__(self, config: MonthlyTraceConfig | None = None) -> None:
+        self.config = config or MonthlyTraceConfig()
+        self._random = random.Random(self.config.seed)
+
+    def days(self) -> List[DaySpec]:
+        """The full month's schedule, day 1 through ``days``."""
+        config = self.config
+        mid = (config.min_dedup + config.max_dedup) / 2.0
+        amplitude = (config.max_dedup - config.min_dedup) / 2.0
+        schedule: List[DaySpec] = []
+        for day in range(1, config.days + 1):
+            # Seasonal swell peaking at peak_day.
+            phase = (day - config.peak_day) / config.days * 2.0 * math.pi
+            base = mid + amplitude * math.cos(phase)
+            noisy = base + self._random.uniform(-config.jitter, config.jitter)
+            if day == config.dip_day:
+                noisy = config.min_dedup
+            if day == config.peak_day:
+                noisy = config.max_dedup
+            ratio = min(config.max_dedup, max(config.min_dedup, noisy))
+            schedule.append(DaySpec(day=day, dedup_ratio=ratio))
+        return schedule

@@ -1,0 +1,113 @@
+"""Unit tests for delta-encoded slices and their wire format."""
+
+import pytest
+
+from repro.bifrost.chunking import (
+    ChunkStore,
+    ChunkedDeduplicator,
+    deserialize_delta_entries,
+    serialize_delta_entries,
+)
+from repro.bifrost.slices import Slice, Slicer
+from repro.errors import ChecksumMismatchError, ConfigError
+from repro.indexing.types import IndexDataset, IndexEntry, IndexKind
+from repro.workloads.kvtrace import make_value
+
+
+def encoded_dataset(version=1, count=8, value_bytes=3000):
+    """A dataset plus its chunk encodings (every entry carries a value)."""
+    dataset = IndexDataset(version=version)
+    for index in range(count):
+        key = f"key-{index:04d}".encode()
+        dataset.add(
+            IndexEntry(IndexKind.FORWARD, key, make_value(key, version, value_bytes))
+        )
+    deduper = ChunkedDeduplicator(average_chunk_bytes=256)
+    result = deduper.process(dataset)
+    return result.dataset, result.encodings
+
+
+def test_wire_roundtrip_mixed_modes():
+    dataset, encodings = encoded_dataset()
+    entries = list(dataset.of_kind(IndexKind.FORWARD))
+    # Mix in an unchanged marker.
+    entries.append(IndexEntry(IndexKind.FORWARD, b"unchanged-key", None))
+    payload = serialize_delta_entries(entries, encodings)
+    decoded = list(deserialize_delta_entries(payload))
+    assert len(decoded) == len(entries)
+    kinds = {kind for kind, _k, _e in decoded}
+    assert kinds == {IndexKind.FORWARD}
+    unchanged = [k for _kind, k, e in decoded if e is None]
+    assert unchanged == [b"unchanged-key"]
+    # Delta entries reassemble to the original values.
+    store = ChunkStore()
+    by_key = {k: e for _kind, k, e in decoded if e is not None}
+    for entry in dataset.of_kind(IndexKind.FORWARD):
+        assert store.absorb(by_key[entry.key]) == entry.value
+
+
+def test_pack_delta_slice_and_items():
+    dataset, encodings = encoded_dataset(count=4)
+    entries = list(dataset.of_kind(IndexKind.FORWARD))
+    item = Slice.pack_delta("d1", 1, IndexKind.FORWARD, entries, encodings)
+    assert item.is_delta
+    item.verify()
+    store = ChunkStore()
+    reassembled = {
+        key: store.absorb(encoding)
+        for _kind, key, encoding in item.delta_items()
+    }
+    for entry in entries:
+        assert reassembled[entry.key] == entry.value
+
+
+def test_delta_items_on_plain_slice_rejected():
+    plain = Slice.pack("p1", 1, IndexKind.FORWARD, [
+        IndexEntry(IndexKind.FORWARD, b"k", b"v")
+    ])
+    with pytest.raises(ConfigError):
+        plain.delta_items()
+
+
+def test_delta_clean_copy_preserves_flag():
+    dataset, encodings = encoded_dataset(count=2)
+    item = Slice.pack_delta(
+        "d1", 1, IndexKind.FORWARD, list(dataset.of_kind(IndexKind.FORWARD)),
+        encodings,
+    )
+    item.corrupt()
+    copy = item.clean_copy()
+    assert copy.is_delta
+    copy.verify()
+
+
+def test_delta_payload_tampering_detected():
+    dataset, encodings = encoded_dataset(count=2)
+    item = Slice.pack_delta(
+        "d1", 1, IndexKind.FORWARD, list(dataset.of_kind(IndexKind.FORWARD)),
+        encodings,
+    )
+    item.payload = item.payload[:-1] + bytes([item.payload[-1] ^ 1])
+    with pytest.raises(ChecksumMismatchError):
+        item.verify()
+
+
+def test_make_delta_slices_batches_by_wire_bytes():
+    dataset, encodings = encoded_dataset(count=30, value_bytes=4000)
+    slicer = Slicer(target_slice_bytes=16 * 1024)
+    slices = slicer.make_delta_slices(dataset, encodings)
+    assert len(slices) > 1
+    assert all(s.is_delta for s in slices)
+    total_entries = sum(len(s.entries) for s in slices)
+    assert total_entries == 30
+    # Second-version slices shrink: the wire carries only novel chunks.
+    deduper = ChunkedDeduplicator(average_chunk_bytes=256)
+    deduper.process(dataset)  # learn version 1's chunks
+    v2 = IndexDataset(version=2)
+    for entry in dataset.of_kind(IndexKind.FORWARD):
+        v2.add(IndexEntry(entry.kind, entry.key, entry.value))  # unchanged
+    result2 = deduper.process(v2)
+    slices2 = slicer.make_delta_slices(result2.dataset, result2.encodings)
+    assert sum(s.size_bytes for s in slices2) < sum(
+        s.size_bytes for s in slices
+    )

@@ -1,0 +1,70 @@
+"""Monitor route-time arithmetic and EWMA smoothing."""
+
+import pytest
+
+from repro.bifrost.channels import ORIGIN, TopologyConfig, build_topology
+from repro.bifrost.monitor import NetworkMonitor
+from repro.simulation.kernel import Simulator
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    topology = build_topology(sim, TopologyConfig(backbone_bps=1e6))
+    return sim, topology
+
+
+def test_idle_route_time_is_transfer_plus_latency(setup):
+    sim, topology = setup
+    monitor = NetworkMonitor(topology)
+    nbytes = 125_000  # one second at 1 Mbit/s
+    estimate = monitor.estimate_route_time([ORIGIN, "north"], nbytes, "inverted")
+    # 60% reservation: 0.6 Mbit/s effective for the inverted stream.
+    expected = nbytes * 8 / (1e6 * 0.6) + topology.config.backbone_latency_s
+    assert estimate == pytest.approx(expected, rel=0.01)
+
+
+def test_two_hop_route_sums_hops(setup):
+    sim, topology = setup
+    monitor = NetworkMonitor(topology)
+    one_hop = monitor.estimate_route_time([ORIGIN, "north"], 50_000, "summary")
+    two_hop = monitor.estimate_route_time(
+        [ORIGIN, "east", "north"], 50_000, "summary"
+    )
+    assert two_hop == pytest.approx(2 * one_hop, rel=0.01)
+
+
+def test_queueing_delay_included(setup):
+    sim, topology = setup
+    monitor = NetworkMonitor(topology)
+    sublink = topology.stream_link(ORIGIN, "north", "summary")
+    sublink.transmit(int(sublink.bandwidth_bps / 8 * 10))  # 10s backlog
+    estimate = monitor.estimate_route_time([ORIGIN, "north"], 1000, "summary")
+    assert estimate > 10.0
+
+
+def test_ewma_smooths_samples(setup):
+    sim, topology = setup
+    monitor = NetworkMonitor(topology, sample_interval_s=10.0, ewma_alpha=0.5)
+    link = topology.backbone[(ORIGIN, "north")]
+    # Saturate one window, sample, then an idle window, sample.
+    link.transmit(int(link.bandwidth_bps / 8 * 10))
+    sim.run(until=10.0)
+    monitor.sample_now()
+    busy = monitor.snapshot()[(ORIGIN, "north")]
+    # Advance past the 60 s stat bucket so the next window is truly idle.
+    sim.run(until=70.0)
+    monitor.sample_now()
+    after_idle = monitor.snapshot()[(ORIGIN, "north")]
+    assert 0.0 < after_idle < busy  # decayed but not forgotten
+
+
+def test_sampling_loop_runs_periodically(setup):
+    sim, topology = setup
+    monitor = NetworkMonitor(topology, sample_interval_s=5.0)
+    monitor.start()
+    monitor.start()  # idempotent
+    link = topology.backbone[(ORIGIN, "east")]
+    link.transmit(int(link.bandwidth_bps / 8 * 4))
+    sim.run(until=6.0)
+    assert monitor.snapshot()[(ORIGIN, "east")] > 0.0

@@ -1,0 +1,111 @@
+"""Unit tests for slices: serialization, checksums, the slicer."""
+
+import pytest
+
+from repro.bifrost.slices import (
+    Slice,
+    Slicer,
+    deserialize_entries,
+    serialize_entries,
+)
+from repro.errors import ChecksumMismatchError, ConfigError
+from repro.indexing.types import IndexDataset, IndexEntry, IndexKind
+
+
+def entries(count=10, kind=IndexKind.FORWARD, value_bytes=50):
+    return [
+        IndexEntry(kind, f"key-{i:04d}".encode(), bytes([i % 251]) * value_bytes)
+        for i in range(count)
+    ]
+
+
+def test_serialize_roundtrip():
+    batch = entries(5)
+    assert list(deserialize_entries(serialize_entries(batch))) == batch
+
+
+def test_serialize_roundtrip_with_dedup_markers():
+    batch = [
+        IndexEntry(IndexKind.SUMMARY, b"k1", b"value"),
+        IndexEntry(IndexKind.SUMMARY, b"k2", None),
+        IndexEntry(IndexKind.INVERTED, b"k3", b""),
+    ]
+    decoded = list(deserialize_entries(serialize_entries(batch)))
+    assert decoded == batch
+    assert decoded[1].value is None
+    assert decoded[2].value == b""  # empty value distinct from None
+
+
+def test_slice_pack_and_verify():
+    item = Slice.pack("s1", 1, IndexKind.FORWARD, entries(3))
+    item.verify()  # clean slice passes
+    assert item.size_bytes > 0
+
+
+def test_corrupted_slice_fails_verification():
+    item = Slice.pack("s1", 1, IndexKind.FORWARD, entries(3))
+    item.corrupt()
+    with pytest.raises(ChecksumMismatchError):
+        item.verify()
+
+
+def test_clean_copy_is_pristine():
+    item = Slice.pack("s1", 1, IndexKind.FORWARD, entries(3))
+    item.corrupt()
+    copy = item.clean_copy()
+    copy.verify()
+    assert copy.slice_id == item.slice_id
+    assert copy.entries == item.entries
+
+
+def test_tampered_payload_fails_crc():
+    item = Slice.pack("s1", 1, IndexKind.FORWARD, entries(3))
+    item.payload = item.payload[:-1] + bytes([item.payload[-1] ^ 0xFF])
+    with pytest.raises(ChecksumMismatchError):
+        item.verify()
+
+
+def test_slicer_respects_target_size():
+    dataset = IndexDataset(version=1)
+    for entry in entries(100, value_bytes=500):
+        dataset.add(entry)
+    slicer = Slicer(target_slice_bytes=10_000)
+    slices = slicer.make_slices(dataset)
+    assert len(slices) > 1
+    for item in slices[:-1]:
+        assert item.size_bytes >= 10_000
+    # No entry lost or duplicated.
+    total = sum(len(s.entries) for s in slices)
+    assert total == 100
+
+
+def test_slicer_separates_kinds():
+    dataset = IndexDataset(version=1)
+    for entry in entries(5, kind=IndexKind.FORWARD):
+        dataset.add(entry)
+    for entry in entries(5, kind=IndexKind.SUMMARY):
+        dataset.add(entry)
+    slices = Slicer(target_slice_bytes=1_000_000).make_slices(dataset)
+    assert len(slices) == 2
+    kinds = {s.kind for s in slices}
+    assert kinds == {IndexKind.FORWARD, IndexKind.SUMMARY}
+
+
+def test_slice_ids_unique_and_versioned():
+    dataset = IndexDataset(version=7)
+    for entry in entries(50, value_bytes=400):
+        dataset.add(entry)
+    slices = Slicer(target_slice_bytes=4_000).make_slices(dataset)
+    ids = [s.slice_id for s in slices]
+    assert len(set(ids)) == len(ids)
+    assert all(s.version == 7 for s in slices)
+    assert all(i.startswith("v7-") for i in ids)
+
+
+def test_slicer_validation():
+    with pytest.raises(ConfigError):
+        Slicer(target_slice_bytes=10)
+
+
+def test_empty_dataset_produces_no_slices():
+    assert Slicer().make_slices(IndexDataset(version=1)) == []

@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_demo_command(capsys):
+    assert main(["demo"]) == 0
+    output = capsys.readouterr().out
+    assert "GET url/2 (deduplicated)" in output
+    assert "software WA" in output
+
+
+def test_dedup_sweep_command(capsys):
+    assert main(["dedup-sweep"]) == 0
+    output = capsys.readouterr().out
+    assert "bandwidth saved" in output
+    assert "90%" in output
+
+
+def test_fig5_command_small(capsys):
+    assert main(["fig5", "--keys", "24"]) == 0
+    output = capsys.readouterr().out
+    assert "QinDB" in output and "LSM" in output
+    assert "total WA" in output
+
+
+def test_fig9_command_small(capsys):
+    assert main(["fig9", "--days", "3"]) == 0
+    output = capsys.readouterr().out
+    assert "Pearson r" in output
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_command_is_required():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,133 @@
+"""System tests for the DirectLoad orchestrator (scaled down)."""
+
+import pytest
+
+from repro.core.config import DirectLoadConfig
+from repro.core.directload import DirectLoad
+from repro.errors import ConfigError, KeyNotFoundError
+from repro.indexing.types import IndexKind
+from repro.mint.cluster import MintConfig
+
+
+def small_config(**overrides):
+    defaults = dict(
+        doc_count=60,
+        vocabulary_size=400,
+        doc_length=20,
+        summary_value_bytes=512,
+        forward_value_bytes=128,
+        slice_bytes=64 * 1024,
+        generation_window_s=30.0,
+        mint=MintConfig(
+            group_count=1, nodes_per_group=3, node_capacity_bytes=48 * 1024 * 1024
+        ),
+    )
+    defaults.update(overrides)
+    return DirectLoadConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def system():
+    """One DirectLoad instance run for five cycles (shared: it's costly)."""
+    directload = DirectLoad(small_config())
+    reports = [directload.run_update_cycle() for _ in range(5)]
+    return directload, reports
+
+
+def test_versions_advance_and_promote(system):
+    _directload, reports = system
+    assert [r.version for r in reports] == [1, 2, 3, 4, 5]
+    assert all(r.promoted for r in reports)
+
+
+def test_first_version_has_no_dedup(system):
+    _directload, reports = system
+    assert reports[0].dedup_ratio == 0.0
+    # Subsequent versions dedup roughly (1 - mutation_rate).
+    for report in reports[1:]:
+        assert 0.3 < report.dedup_ratio < 0.95
+
+
+def test_retention_evicts_beyond_four(system):
+    directload, reports = system
+    assert directload.versions.live_versions == [2, 3, 4, 5]
+    assert reports[4].evicted_versions == [1]
+    for cluster in directload.clusters.values():
+        assert 1 not in cluster.version_keys
+
+
+def test_queries_serve_the_active_version(system):
+    directload, _reports = system
+    url = next(directload.corpus.documents()).url.encode()
+    for dc in directload.topology.all_data_centers():
+        value = directload.query(dc, IndexKind.FORWARD, url)
+        assert len(value) >= 128
+
+
+def test_summary_only_at_summary_dcs(system):
+    directload, _reports = system
+    url = next(directload.corpus.documents()).url.encode()
+    summary_dcs = {
+        dcs[0] for dcs in directload.topology.summary_dcs.values()
+    }
+    for dc in directload.topology.all_data_centers():
+        if dc in summary_dcs:
+            assert directload.query(dc, IndexKind.SUMMARY, url)
+        else:
+            with pytest.raises(Exception):
+                directload.query(dc, IndexKind.SUMMARY, url)
+
+
+def test_dedup_reduces_bytes_sent(system):
+    _directload, reports = system
+    # Later versions ship far fewer bytes than the full first version.
+    assert reports[2].bytes_sent < reports[0].bytes_sent
+
+
+def test_reports_carry_operational_metrics(system):
+    _directload, reports = system
+    for report in reports:
+        assert report.update_time_s > 0
+        assert report.keys_delivered > 0
+        assert report.throughput_kps > 0
+        assert 0.0 <= report.miss_ratio <= 1.0
+        assert report.inconsistency_rate < 0.001
+
+
+def test_query_before_any_version_raises():
+    directload = DirectLoad(small_config(doc_count=5))
+    with pytest.raises(KeyNotFoundError):
+        directload.query("north-dc1", IndexKind.FORWARD, b"u")
+
+
+def test_dedup_disabled_ships_everything():
+    directload = DirectLoad(small_config(doc_count=30, dedup_enabled=False))
+    directload.run_update_cycle()
+    report = directload.run_update_cycle()
+    assert report.dedup_ratio == 0.0
+    assert report.bandwidth_saving_ratio == 0.0
+
+
+def test_lsm_engine_variant_works():
+    directload = DirectLoad(small_config(doc_count=30, engine="lsm"))
+    report = directload.run_update_cycle()
+    assert report.promoted
+    url = next(directload.corpus.documents()).url.encode()
+    assert directload.query("east-dc1", IndexKind.FORWARD, url)
+
+
+def test_fleet_stats_aggregate(system):
+    directload, _reports = system
+    stats = directload.fleet_stats()
+    assert stats["nodes"] == 6 * 3
+    assert stats["puts"] > 0
+    assert stats["disk_used_bytes"] > 0
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        DirectLoadConfig(doc_count=0)
+    with pytest.raises(ConfigError):
+        DirectLoadConfig(engine="rocksdb")  # type: ignore[arg-type]
+    with pytest.raises(ConfigError):
+        DirectLoadConfig(mutation_rate=2.0)

@@ -1,0 +1,42 @@
+"""The exception hierarchy: every library error is catchable as
+ReproError, and domain families nest correctly."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_repro_error():
+    for name in dir(errors):
+        candidate = getattr(errors, name)
+        if isinstance(candidate, type) and issubclass(candidate, Exception):
+            if candidate is not Exception:
+                assert issubclass(candidate, errors.ReproError), name
+
+
+@pytest.mark.parametrize(
+    ("child", "parent"),
+    [
+        (errors.DeviceFullError, errors.StorageError),
+        (errors.OutOfRangeError, errors.StorageError),
+        (errors.AlignmentError, errors.StorageError),
+        (errors.CorruptionError, errors.StorageError),
+        (errors.TruncatedRecordError, errors.CorruptionError),
+        (errors.KeyNotFoundError, errors.StorageError),
+        (errors.EngineClosedError, errors.StorageError),
+        (errors.ChecksumMismatchError, errors.TransmissionError),
+        (errors.RoutingError, errors.TransmissionError),
+        (errors.ReplicationError, errors.ClusterError),
+        (errors.NodeDownError, errors.ClusterError),
+    ],
+)
+def test_family_nesting(child, parent):
+    assert issubclass(child, parent)
+
+
+def test_one_handler_catches_the_whole_library():
+    from repro.qindb.engine import QinDB
+
+    db = QinDB.with_capacity(8 * 1024 * 1024)
+    with pytest.raises(errors.ReproError):
+        db.get(b"missing", 1)

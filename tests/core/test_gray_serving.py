@@ -1,0 +1,71 @@
+"""Queries honour the gray-release serving map (paper Section 3).
+
+During a gray window only one data center serves the new version — the
+source of the paper's measured cross-region inconsistency.  These tests
+drive DirectLoad into the gray/rolled-back states and check the query
+router serves exactly what the release says each DC serves.
+"""
+
+import pytest
+
+from repro.core.config import DirectLoadConfig
+from repro.core.directload import DirectLoad
+from repro.core.release import ReleasePhase, ReleaseThresholds
+from repro.errors import KeyNotFoundError
+from repro.indexing.types import IndexKind
+from repro.mint.cluster import MintConfig
+
+
+def system(**overrides):
+    defaults = dict(
+        doc_count=40,
+        vocabulary_size=250,
+        doc_length=16,
+        summary_value_bytes=512,
+        forward_value_bytes=128,
+        slice_bytes=32 * 1024,
+        generation_window_s=2.0,
+        mint=MintConfig(
+            group_count=1, nodes_per_group=3,
+            node_capacity_bytes=48 * 1024 * 1024,
+        ),
+    )
+    defaults.update(overrides)
+    return DirectLoad(DirectLoadConfig(**defaults))
+
+
+def test_promoted_release_serves_new_version_everywhere():
+    built = system()
+    built.run_update_cycle()
+    built.run_update_cycle()
+    assert built.release.phase is ReleasePhase.ACTIVE
+    url = next(built.corpus.documents()).url.encode()
+    for dc in built.topology.all_data_centers():
+        assert built.query(dc, IndexKind.FORWARD, url)
+
+
+def test_rolled_back_release_serves_previous_version():
+    built = system(
+        release_thresholds=ReleaseThresholds(max_p99_latency_s=1e-12),
+    )
+    # Version 1 fails its gray gates: nothing is active.
+    first = built.run_update_cycle()
+    assert not first.promoted
+    url = next(built.corpus.documents()).url.encode()
+    with pytest.raises(KeyNotFoundError):
+        built.query("north-dc1", IndexKind.FORWARD, url)
+
+
+def test_rollback_after_success_keeps_old_version_serving():
+    built = system()
+    built.run_update_cycle()  # v1 active
+    # Make the next release fail its gates.
+    built.config.release_thresholds.__dict__["max_p99_latency_s"] = 1e-12
+    second = built.run_update_cycle()
+    assert not second.promoted
+    assert built.versions.active_version == 1
+    url = next(built.corpus.documents()).url.encode()
+    # Queries everywhere answer from version 1.
+    for dc in built.topology.all_data_centers():
+        value = built.query(dc, IndexKind.FORWARD, url)
+        assert value == built.clusters[dc].query(IndexKind.FORWARD, url, 1)

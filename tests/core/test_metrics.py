@@ -1,0 +1,98 @@
+"""Unit tests for measurement utilities."""
+
+import pytest
+
+from repro.core.metrics import (
+    PercentileTracker,
+    ThroughputSampler,
+    TimeSeries,
+    mean_and_stddev,
+)
+from repro.errors import ConfigError
+
+
+# ---------------------------------------------------------------- TimeSeries
+def test_timeseries_buckets_and_rates():
+    series = TimeSeries(bucket_s=10.0)
+    series.add(1.0, 100.0)
+    series.add(9.0, 100.0)
+    series.add(15.0, 50.0)
+    assert series.sums() == [(0.0, 200.0), (10.0, 50.0)]
+    assert series.rates() == [(0.0, 20.0), (10.0, 5.0)]
+    assert series.rate_values() == [20.0, 5.0]
+
+
+def test_timeseries_validation():
+    with pytest.raises(ConfigError):
+        TimeSeries(bucket_s=0)
+
+
+# ---------------------------------------------------------------- Percentile
+def test_percentile_tracker_summary():
+    tracker = PercentileTracker()
+    tracker.extend(float(i) for i in range(1, 1001))
+    assert tracker.mean == pytest.approx(500.5)
+    assert tracker.percentile(50) == 500.0
+    assert tracker.percentile(99) == 990.0
+    assert tracker.percentile(99.9) == 999.0
+    summary = tracker.summary()
+    assert set(summary) == {"avg", "p99", "p999"}
+
+
+def test_percentile_edge_cases():
+    tracker = PercentileTracker()
+    assert tracker.mean == 0.0
+    assert tracker.percentile(99) == 0.0
+    tracker.add(42.0)
+    assert tracker.percentile(0) == 42.0
+    assert tracker.percentile(100) == 42.0
+    with pytest.raises(ConfigError):
+        tracker.percentile(101)
+
+
+# ------------------------------------------------------------------- Sampler
+def test_sampler_rate_series():
+    sampler = ThroughputSampler(interval_s=10.0)
+    counters = {"bytes": 0.0}
+    sampler.prime(0.0, counters)
+    counters["bytes"] = 500.0
+    sampler.maybe_sample(10.0, lambda: dict(counters))
+    counters["bytes"] = 1500.0
+    sampler.maybe_sample(20.0, lambda: dict(counters))
+    series = sampler.rate_series("bytes")
+    assert series == [(0.0, 50.0), (10.0, 100.0)]
+
+
+def test_sampler_catches_up_over_skipped_intervals():
+    sampler = ThroughputSampler(interval_s=10.0)
+    counters = {"bytes": 0.0}
+    sampler.prime(0.0, counters)
+    counters["bytes"] = 300.0
+    # One call lands after three interval boundaries.
+    sampler.maybe_sample(35.0, lambda: dict(counters))
+    series = sampler.rate_series("bytes")
+    assert len(series) == 3
+
+
+def test_sampler_finalize_partial_interval():
+    sampler = ThroughputSampler(interval_s=10.0)
+    counters = {"bytes": 0.0}
+    sampler.prime(0.0, counters)
+    counters["bytes"] = 50.0
+    sampler.finalize(5.0, counters)
+    assert sampler.rate_series("bytes") == [(0.0, 10.0)]
+
+
+def test_sampler_level_series():
+    sampler = ThroughputSampler(interval_s=10.0)
+    sampler.prime(0.0, {"disk": 10.0})
+    sampler.maybe_sample(10.0, lambda: {"disk": 25.0})
+    assert sampler.level_series("disk") == [(0.0, 10.0), (10.0, 25.0)]
+
+
+# ----------------------------------------------------------------- mean/std
+def test_mean_and_stddev():
+    mean, std = mean_and_stddev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    assert mean == pytest.approx(5.0)
+    assert std == pytest.approx(2.0)
+    assert mean_and_stddev([]) == (0.0, 0.0)

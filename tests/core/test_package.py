@@ -1,0 +1,59 @@
+"""Package-level smoke tests: imports, exports, metadata."""
+
+import importlib
+import pkgutil
+
+import repro
+
+
+def test_every_module_imports_cleanly():
+    """Walk the whole package: no module may fail to import (dead
+    imports, circular dependencies, syntax rot)."""
+    failures = []
+    for module_info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        if module_info.name == "repro.__main__":
+            continue  # executes the CLI on import
+        try:
+            importlib.import_module(module_info.name)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            failures.append((module_info.name, exc))
+    assert not failures, failures
+
+
+def test_public_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_docstrings_on_public_api():
+    """Every exported public item carries a docstring."""
+    for name in repro.__all__:
+        if name.startswith("__"):
+            continue
+        item = getattr(repro, name)
+        if isinstance(item, type) or callable(item):
+            assert item.__doc__, f"{name} lacks a docstring"
+
+
+def test_subpackages_have_module_docstrings():
+    for module_name in (
+        "repro.simulation",
+        "repro.ssd",
+        "repro.qindb",
+        "repro.lsm",
+        "repro.indexing",
+        "repro.bifrost",
+        "repro.mint",
+        "repro.core",
+        "repro.workloads",
+        "repro.analysis",
+        "repro.hashkv",
+    ):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__) > 40, module_name

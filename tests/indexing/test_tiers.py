@@ -1,0 +1,100 @@
+"""Tests for VIP / non-VIP tier views and differentiated cadence."""
+
+import pytest
+
+from repro.bifrost.dedup import Deduplicator
+from repro.errors import ConfigError
+from repro.indexing.builders import IndexBuildPipeline, PipelineConfig
+from repro.indexing.corpus import SyntheticWebCorpus
+from repro.indexing.tiers import TierView, tier_freshness
+from repro.indexing.types import IndexKind, QualityTier
+
+
+@pytest.fixture
+def corpus():
+    return SyntheticWebCorpus(
+        doc_count=100, doc_length=20, vip_fraction=0.2, mutation_rate=0.4,
+        seed=77,
+    )
+
+
+def test_view_filters_documents(corpus):
+    vip = TierView(corpus, QualityTier.VIP)
+    non_vip = TierView(corpus, QualityTier.NON_VIP)
+    assert len(vip) == 20
+    assert len(non_vip) == 80
+    assert all(d.tier is QualityTier.VIP for d in vip.documents())
+
+
+def test_view_document_lookup_enforces_tier(corpus):
+    vip = TierView(corpus, QualityTier.VIP)
+    vip_url = next(vip.documents()).url
+    assert vip.document(vip_url).url == vip_url
+    non_vip_url = next(
+        d.url for d in corpus.documents() if d.tier is QualityTier.NON_VIP
+    )
+    with pytest.raises(ConfigError):
+        vip.document(non_vip_url)
+
+
+def test_advance_round_mutates_whole_web_reports_tier(corpus):
+    vip = TierView(corpus, QualityTier.VIP)
+    before = corpus.current_round
+    vip_changed = vip.advance_round(mutation_rate=1.0)
+    assert corpus.current_round == before + 1
+    assert len(vip_changed) == 20  # only the tier's changes reported
+    # ...but the non-VIP documents mutated too (the web doesn't wait).
+    assert all(
+        d.modified_round == corpus.current_round for d in corpus.documents()
+    )
+
+
+def test_vip_pipeline_builds_small_datasets(corpus):
+    vip_pipeline = IndexBuildPipeline(
+        TierView(corpus, QualityTier.VIP), PipelineConfig(summary_value_bytes=256)
+    )
+    full_pipeline = IndexBuildPipeline(
+        corpus, PipelineConfig(summary_value_bytes=256)
+    )
+    vip_dataset = vip_pipeline.build_version()
+    full_dataset = full_pipeline.build_version()
+    # "consuming only a few TBs": the VIP dataset is a fraction of full.
+    assert vip_dataset.total_bytes < full_dataset.total_bytes / 2
+    assert len(vip_dataset.of_kind(IndexKind.FORWARD)) == 20
+
+
+def test_vip_cadence_keeps_vip_fresher(corpus):
+    """Update VIP every round, everything else every third round: VIP
+    freshness stays high while non-VIP staleness accumulates."""
+    vip_indexed_round = 0
+    full_indexed_round = 0
+    for round_index in range(1, 8):
+        corpus.advance_round()
+        vip_indexed_round = corpus.current_round  # VIP updated each round
+        if round_index % 3 == 0:
+            full_indexed_round = corpus.current_round
+    # The web moved past round 6, the last full (non-VIP) index build.
+    vip_fresh = tier_freshness(corpus, vip_indexed_round, QualityTier.VIP)
+    non_vip_fresh = tier_freshness(
+        corpus, full_indexed_round, QualityTier.NON_VIP
+    )
+    assert vip_fresh == 1.0
+    assert non_vip_fresh < 1.0
+
+
+def test_tier_dedup_streams_are_independent(corpus):
+    """A VIP-only cadence deduplicates against VIP history only; keys
+    never cross tiers because URLs are tier-stable."""
+    vip_pipeline = IndexBuildPipeline(
+        TierView(corpus, QualityTier.VIP), PipelineConfig(summary_value_bytes=256)
+    )
+    deduplicator = Deduplicator()
+    deduplicator.process(vip_pipeline.build_version())
+    corpus.advance_round(mutation_rate=0.0)  # nothing changed
+    result = deduplicator.process(vip_pipeline.build_version())
+    assert result.dedup_ratio == 1.0  # every VIP entry unchanged
+
+
+def test_tier_freshness_empty_tier():
+    corpus = SyntheticWebCorpus(doc_count=10, vip_fraction=0.0, seed=1)
+    assert tier_freshness(corpus, 0, QualityTier.VIP) == 1.0

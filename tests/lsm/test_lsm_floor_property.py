@@ -1,0 +1,68 @@
+"""Property test for the LSM's merged floor search (traceback's core).
+
+``_find(exact=False)`` must return the greatest composite key <= target
+across memtable, L0, and deeper levels, with newest-source-wins on ties —
+under arbitrary interleavings of puts and flushes.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.engine import LSMConfig, LSMEngine
+
+KEYS = [b"m", b"mm", b"n"]
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(
+                st.just("put"),
+                st.sampled_from(KEYS),
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=3),
+            ),
+            st.tuples(st.just("flush")),
+        ),
+        max_size=40,
+    ),
+    probe_key=st.sampled_from(KEYS),
+    probe_version=st.integers(min_value=0, max_value=21),
+)
+def test_property_floor_matches_model(ops, probe_key, probe_version):
+    engine = LSMEngine.with_capacity(
+        16 * 1024 * 1024,
+        config=LSMConfig(
+            memtable_bytes=1024,
+            level1_max_bytes=4 * 1024,
+            max_file_bytes=1024,
+        ),
+    )
+    model = {}
+    for op in ops:
+        if op[0] == "put":
+            _tag, key, version, salt = op
+            value = bytes([salt]) * 40
+            engine.put(key, version, value)
+            model[(key, version)] = value
+        else:
+            engine.flush_memtable()
+
+    target = (probe_key, probe_version)
+    expected_key = max(
+        (composite for composite in model if composite <= target),
+        default=None,
+    )
+    found = engine._find(target, exact=False)
+    if expected_key is None:
+        assert found is None
+    else:
+        assert found is not None
+        assert (found.key, found.version) == expected_key
+        assert found.value == model[expected_key]

@@ -1,0 +1,140 @@
+"""Unit tests for SSTables."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.lsm.sstable import SSTable
+from repro.qindb.records import Record, RecordType
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.files import BlockFileSystem
+from repro.ssd.ftl import FlashTranslationLayer
+from repro.ssd.geometry import SSDGeometry
+
+
+@pytest.fixture
+def fs():
+    geometry = SSDGeometry(block_count=64, pages_per_block=8, page_size=512)
+    return BlockFileSystem(FlashTranslationLayer(SimulatedSSD(geometry)))
+
+
+def sorted_records(count=100, versions=(1,)):
+    records = []
+    for index in range(count):
+        for version in versions:
+            records.append(
+                Record(
+                    RecordType.PUT_VALUE,
+                    f"key-{index:04d}".encode(),
+                    version,
+                    f"value-{index}-{version}".encode(),
+                )
+            )
+    return records
+
+
+def test_write_and_get_every_record(fs):
+    records = sorted_records(50, versions=(1, 2))
+    table = SSTable.write(fs, "t1", records, sequence=1)
+    assert table.record_count == 100
+    for record in records:
+        found = table.get(record.key, record.version)
+        assert found == record
+
+
+def test_get_absent_key_returns_none(fs):
+    table = SSTable.write(fs, "t1", sorted_records(20), sequence=1)
+    assert table.get(b"zzz-absent", 1) is None
+    assert table.get(b"key-0000", 99) is None
+
+
+def test_out_of_range_short_circuits_without_io(fs):
+    device = fs.ftl.device
+    table = SSTable.write(fs, "t1", sorted_records(20), sequence=1)
+    reads_before = device.counters.host_pages_read
+    assert table.get(b"aaaa", 1) is None  # below min
+    assert table.get(b"zzzz", 1) is None  # above max
+    assert device.counters.host_pages_read == reads_before
+
+
+def test_unsorted_records_rejected(fs):
+    records = sorted_records(5)
+    records.reverse()
+    with pytest.raises(StorageError, match="sorted"):
+        SSTable.write(fs, "bad", records, sequence=1)
+
+
+def test_duplicate_composite_rejected(fs):
+    record = Record(RecordType.PUT_VALUE, b"k", 1, b"v")
+    with pytest.raises(StorageError, match="sorted"):
+        SSTable.write(fs, "bad", [record, record], sequence=1)
+
+
+def test_empty_table_rejected(fs):
+    with pytest.raises(StorageError, match="empty"):
+        SSTable.write(fs, "bad", [], sequence=1)
+
+
+def test_floor_semantics(fs):
+    records = [
+        Record(RecordType.PUT_VALUE, b"b", 2, b"b2"),
+        Record(RecordType.PUT_VALUE, b"b", 5, b"b5"),
+        Record(RecordType.PUT_VALUE, b"d", 1, b"d1"),
+    ]
+    table = SSTable.write(fs, "t1", records, sequence=1)
+    assert table.floor((b"b", 5)) == records[1]
+    assert table.floor((b"b", 4)) == records[0]
+    assert table.floor((b"c", 9)) == records[1]
+    assert table.floor((b"z", 1)) == records[2]
+    assert table.floor((b"a", 1)) is None
+
+
+def test_iter_records_streams_in_order(fs):
+    records = sorted_records(64)
+    table = SSTable.write(fs, "t1", records, sequence=1)
+    assert list(table.iter_records()) == records
+
+
+def test_overlaps(fs):
+    table = SSTable.write(fs, "t1", sorted_records(10), sequence=1)
+    assert table.overlaps((b"key-0000", 0), (b"key-0005", 9))
+    assert table.overlaps((b"a", 0), (b"z", 0))
+    assert not table.overlaps((b"z", 0), (b"zz", 0))
+    assert not table.overlaps((b"a", 0), (b"b", 0))
+
+
+def test_point_read_touches_one_index_range(fs):
+    device = fs.ftl.device
+    records = sorted_records(160)
+    table = SSTable.write(fs, "t1", records, sequence=1)
+    reads_before = device.counters.host_pages_read
+    table.get(b"key-0080", 1)
+    touched = device.counters.host_pages_read - reads_before
+    total_pages = table.size // 512 + 1
+    assert 0 < touched < total_pages / 4  # far less than a full scan
+
+
+def test_bloom_screen_avoids_io_for_absent_keys(fs):
+    device = fs.ftl.device
+    table = SSTable.write(fs, "t1", sorted_records(200), sequence=1)
+    reads_before = device.counters.host_pages_read
+    hits = 0
+    for index in range(200):
+        if table.get(f"key-{index:04d}".encode(), 7) is not None:
+            hits += 1
+    assert hits == 0
+    touched = device.counters.host_pages_read - reads_before
+    # Bloom filters screen the vast majority of absent probes.
+    assert touched < 200 * 0.2
+
+
+def test_delete_removes_file(fs):
+    table = SSTable.write(fs, "t1", sorted_records(10), sequence=1)
+    table.delete(fs)
+    assert not fs.exists("t1")
+
+
+def test_index_memory_accounting(fs):
+    table = SSTable.write(fs, "t1", sorted_records(500), sequence=1)
+    assert table.index_memory_bytes > 0
+    small = SSTable.write(fs, "t2", sorted_records(10), sequence=2)
+    assert table.index_memory_bytes > small.index_memory_bytes

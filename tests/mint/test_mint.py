@@ -1,0 +1,294 @@
+"""Unit tests for Mint: hashing, nodes, groups, clusters."""
+
+import pytest
+
+from repro.bifrost.slices import Slice
+from repro.errors import ClusterError, NodeDownError, ReplicationError
+from repro.indexing.types import IndexEntry, IndexKind
+from repro.mint.cluster import MintCluster, MintConfig, storage_key
+from repro.mint.group import NodeGroup
+from repro.mint.hashing import rendezvous_ranking, stable_hash
+from repro.mint.node import StorageNode
+from repro.qindb.engine import QinDB, QinDBConfig
+
+
+def make_node(name="n1"):
+    return StorageNode(
+        name,
+        QinDB.with_capacity(
+            16 * 1024 * 1024, config=QinDBConfig(segment_bytes=256 * 1024)
+        ),
+    )
+
+
+def make_group(node_count=3, replicas=3):
+    nodes = [make_node(f"n{i}") for i in range(node_count)]
+    return NodeGroup(0, nodes, replica_count=replicas)
+
+
+# ------------------------------------------------------------------- hashing
+def test_stable_hash_is_deterministic():
+    assert stable_hash(b"key") == stable_hash(b"key")
+    assert stable_hash(b"key") != stable_hash(b"kez")
+    assert stable_hash(b"key", salt=b"a") != stable_hash(b"key", salt=b"b")
+
+
+def test_rendezvous_ranking_is_a_permutation():
+    nodes = [f"node-{i}" for i in range(5)]
+    ranking = rendezvous_ranking(nodes, b"some-key")
+    assert sorted(ranking) == sorted(nodes)
+
+
+def test_rendezvous_stability_under_membership_change():
+    nodes = [f"node-{i}" for i in range(5)]
+    keys = [f"key-{i}".encode() for i in range(300)]
+    before = {k: rendezvous_ranking(nodes, k)[0] for k in keys}
+    grown = nodes + ["node-5"]
+    after = {k: rendezvous_ranking(grown, k)[0] for k in keys}
+    moved = sum(1 for k in keys if before[k] != after[k])
+    # Only ~1/6 of keys should move to the new node.
+    assert moved / len(keys) < 0.35
+
+
+# ---------------------------------------------------------------------- node
+def test_node_operations_and_counters():
+    node = make_node()
+    node.put(b"k", 1, b"v")
+    assert node.get(b"k", 1) == b"v"
+    assert node.exists(b"k", 1)
+    node.delete(b"k", 1)
+    assert (node.puts, node.gets, node.deletes) == (1, 1, 1)
+
+
+def test_down_node_rejects_everything():
+    node = make_node()
+    node.put(b"k", 1, b"v")
+    node.fail()
+    with pytest.raises(NodeDownError):
+        node.get(b"k", 1)
+    with pytest.raises(NodeDownError):
+        node.put(b"k", 2, b"v")
+    with pytest.raises(NodeDownError):
+        node.delete(b"k", 1)
+
+
+def test_node_recovery_restores_data():
+    node = make_node()
+    for index in range(20):
+        node.put(f"k{index}".encode(), 1, bytes([index]) * 100)
+    node.engine.flush()
+    node.fail()
+    cost = node.recover()
+    assert cost > 0
+    assert node.is_up
+    assert node.recoveries == 1
+    assert node.get(b"k7", 1) == bytes([7]) * 100
+
+
+def test_node_recover_while_up_is_a_noop():
+    node = make_node()
+    assert node.recover() == 0.0
+    assert node.recoveries == 0
+
+
+# --------------------------------------------------------------------- group
+def test_group_validation():
+    with pytest.raises(ClusterError):
+        NodeGroup(0, [make_node()], replica_count=3)
+    with pytest.raises(ClusterError):
+        make_group(replicas=0)
+
+
+def test_group_places_exact_replica_count():
+    group = make_group(node_count=5, replicas=3)
+    replicas = group.replicas_for(b"some-key")
+    assert len(replicas) == 3
+    assert len({n.name for n in replicas}) == 3
+
+
+def test_group_write_goes_to_all_replicas():
+    group = make_group()
+    assert group.put(b"k", 1, b"v") == 3
+    for node in group.replicas_for(b"k"):
+        assert node.engine.get(b"k", 1) == b"v"
+
+
+def test_group_read_survives_replica_failures():
+    group = make_group()
+    group.put(b"k", 1, b"v")
+    replicas = group.replicas_for(b"k")
+    replicas[0].fail()
+    replicas[1].fail()
+    assert group.get(b"k", 1) == b"v"  # third replica answers
+
+
+def test_group_read_fails_when_all_replicas_down():
+    group = make_group()
+    group.put(b"k", 1, b"v")
+    for node in group.replicas_for(b"k"):
+        node.fail()
+    with pytest.raises(ReplicationError):
+        group.get(b"k", 1)
+
+
+def test_group_write_with_some_nodes_down():
+    group = make_group()
+    group.replicas_for(b"k")[0].fail()
+    assert group.put(b"k", 1, b"v") == 2
+
+
+def test_group_write_fails_when_all_down():
+    group = make_group()
+    for node in group.nodes:
+        node.fail()
+    with pytest.raises(ReplicationError):
+        group.put(b"k", 1, b"v")
+
+
+def test_group_membership_changes():
+    group = make_group(node_count=4)
+    group.add_node(make_node("n9"))
+    assert group.healthy_count == 5
+    with pytest.raises(ClusterError):
+        group.add_node(make_node("n9"))  # duplicate
+    group.remove_node("n9")
+    with pytest.raises(ClusterError):
+        group.node("n9")
+    # Cannot shrink below replica count.
+    group.remove_node("n3")
+    with pytest.raises(ClusterError):
+        group.remove_node("n2")
+
+
+def test_group_delete_reaches_live_replicas():
+    group = make_group()
+    group.put(b"k", 1, b"v")
+    assert group.delete(b"k", 1) == 3
+    with pytest.raises(Exception):
+        group.get(b"k", 1)
+
+
+# ------------------------------------------------------------------- cluster
+def test_cluster_shape_and_placement():
+    cluster = MintCluster("dc1", MintConfig(group_count=2, nodes_per_group=3))
+    assert len(cluster.all_nodes) == 6
+    group_a = cluster.group_for(b"key-1")
+    assert group_a is cluster.group_for(b"key-1")  # stable
+
+
+def test_cluster_put_get_delete():
+    cluster = MintCluster("dc1", MintConfig(group_count=2, nodes_per_group=3))
+    cluster.put(b"k", 1, b"v")
+    assert cluster.get(b"k", 1) == b"v"
+    cluster.delete(b"k", 1)
+    with pytest.raises(Exception):
+        cluster.get(b"k", 1)
+
+
+def test_cluster_ingest_and_query_slice():
+    cluster = MintCluster("dc1", MintConfig(group_count=1, nodes_per_group=3))
+    entries = [
+        IndexEntry(IndexKind.FORWARD, b"url-1", b"terms terms"),
+        IndexEntry(IndexKind.INVERTED, b"term-1", b"url-1\nurl-2"),
+    ]
+    item = Slice.pack("s1", 1, IndexKind.FORWARD, entries)
+    assert cluster.ingest_slice(item) == 2
+    assert cluster.query(IndexKind.FORWARD, b"url-1", 1) == b"terms terms"
+    assert cluster.query(IndexKind.INVERTED, b"term-1", 1) == b"url-1\nurl-2"
+
+
+def test_cluster_kind_prefix_prevents_collisions():
+    assert storage_key(IndexKind.FORWARD, b"x") != storage_key(
+        IndexKind.SUMMARY, b"x"
+    )
+    cluster = MintCluster("dc1", MintConfig(group_count=1, nodes_per_group=3))
+    cluster.put(storage_key(IndexKind.FORWARD, b"x"), 1, b"fwd")
+    cluster.put(storage_key(IndexKind.SUMMARY, b"x"), 1, b"sum")
+    assert cluster.query(IndexKind.FORWARD, b"x", 1) == b"fwd"
+    assert cluster.query(IndexKind.SUMMARY, b"x", 1) == b"sum"
+
+
+def test_cluster_drop_version():
+    cluster = MintCluster("dc1", MintConfig(group_count=1, nodes_per_group=3))
+    entries = [IndexEntry(IndexKind.FORWARD, b"url-1", b"v1")]
+    cluster.ingest_slice(Slice.pack("s1", 1, IndexKind.FORWARD, entries))
+    entries2 = [IndexEntry(IndexKind.FORWARD, b"url-1", b"v2")]
+    cluster.ingest_slice(Slice.pack("s2", 2, IndexKind.FORWARD, entries2))
+    assert cluster.drop_version(1) == 1
+    with pytest.raises(Exception):
+        cluster.query(IndexKind.FORWARD, b"url-1", 1)
+    assert cluster.query(IndexKind.FORWARD, b"url-1", 2) == b"v2"
+    assert cluster.drop_version(1) == 0  # idempotent
+
+
+def test_cluster_dedup_entry_resolves_across_versions():
+    cluster = MintCluster("dc1", MintConfig(group_count=1, nodes_per_group=3))
+    v1 = [IndexEntry(IndexKind.SUMMARY, b"url", b"abstract")]
+    cluster.ingest_slice(Slice.pack("s1", 1, IndexKind.SUMMARY, v1))
+    v2 = [IndexEntry(IndexKind.SUMMARY, b"url", None)]  # deduplicated
+    cluster.ingest_slice(Slice.pack("s2", 2, IndexKind.SUMMARY, v2))
+    assert cluster.query(IndexKind.SUMMARY, b"url", 2) == b"abstract"
+
+
+def test_cluster_stats_aggregate():
+    cluster = MintCluster("dc1", MintConfig(group_count=2, nodes_per_group=3))
+    cluster.put(b"k", 1, b"v" * 100)
+    stats = cluster.stats()
+    assert stats["nodes"] == 6
+    assert stats["healthy_nodes"] == 6
+    assert stats["puts"] == 3
+    assert stats["user_bytes_written"] > 300
+
+
+def test_cluster_config_validation():
+    with pytest.raises(Exception):
+        MintConfig(group_count=0)
+    with pytest.raises(Exception):
+        MintConfig(nodes_per_group=2, replica_count=3)
+
+
+def test_cluster_range_scan_merges_groups():
+    cluster = MintCluster("dc1", MintConfig(group_count=3, nodes_per_group=3))
+    for index in range(30):
+        key = storage_key(IndexKind.FORWARD, f"url-{index:03d}".encode())
+        cluster.put(key, 1, f"v{index}".encode())
+    result = list(
+        cluster.scan(IndexKind.FORWARD, b"url-005", b"url-015", version=1)
+    )
+    assert [key for key, _v, _val in result] == [
+        f"url-{i:03d}".encode() for i in range(5, 15)
+    ]
+    assert all(value == f"v{int(key[-3:])}".encode() for key, _v, value in result)
+
+
+def test_cluster_scan_filters_by_version():
+    cluster = MintCluster("dc1", MintConfig(group_count=2, nodes_per_group=3))
+    for version in (1, 2):
+        for index in range(10):
+            key = storage_key(IndexKind.INVERTED, f"t{index:02d}".encode())
+            cluster.put(key, version, f"v{version}".encode())
+    only_v2 = list(cluster.scan(IndexKind.INVERTED, b"t00", b"t99", version=2))
+    assert len(only_v2) == 10
+    assert all(version == 2 for _k, version, _v in only_v2)
+    both = list(cluster.scan(IndexKind.INVERTED, b"t00", b"t99"))
+    assert len(both) == 20
+
+
+def test_cluster_scan_excludes_other_kinds():
+    cluster = MintCluster("dc1", MintConfig(group_count=1, nodes_per_group=3))
+    cluster.put(storage_key(IndexKind.FORWARD, b"x"), 1, b"fwd")
+    cluster.put(storage_key(IndexKind.SUMMARY, b"x"), 1, b"sum")
+    result = list(cluster.scan(IndexKind.FORWARD, b"a", b"z", version=1))
+    assert result == [(b"x", 1, b"fwd")]
+
+
+def test_cluster_scan_survives_node_failures():
+    cluster = MintCluster("dc1", MintConfig(group_count=2, nodes_per_group=3))
+    for index in range(20):
+        key = storage_key(IndexKind.FORWARD, f"u{index:02d}".encode())
+        cluster.put(key, 1, b"v")
+    for group in cluster.groups:
+        group.nodes[0].fail()
+    result = list(cluster.scan(IndexKind.FORWARD, b"u00", b"u99", version=1))
+    # Every key still present: each lives on 3 replicas, 2 still up.
+    assert len(result) == 20

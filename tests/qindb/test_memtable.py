@@ -1,0 +1,120 @@
+"""Unit tests for the QinDB memtable."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError
+from repro.qindb.aof import RecordLocation
+from repro.qindb.memtable import Memtable
+
+
+def loc(segment=0, offset=0, length=10):
+    return RecordLocation(segment, offset, length)
+
+
+def test_put_get():
+    mt = Memtable()
+    assert mt.put(b"k", 1, loc(), deduplicated=False) is None
+    item = mt.get(b"k", 1)
+    assert item is not None
+    assert item.has_value
+    assert not item.deleted
+    assert len(mt) == 1
+
+
+def test_put_replacement_returns_previous():
+    mt = Memtable()
+    mt.put(b"k", 1, loc(0, 0), deduplicated=False)
+    previous = mt.put(b"k", 1, loc(0, 100), deduplicated=False)
+    assert previous is not None
+    assert previous.location.offset == 0
+    assert mt.get(b"k", 1).location.offset == 100
+    assert len(mt) == 1
+
+
+def test_dedup_flag_tracks_r():
+    mt = Memtable()
+    mt.put(b"k", 2, loc(), deduplicated=True)
+    item = mt.get(b"k", 2)
+    assert item.deduplicated
+    assert not item.has_value
+
+
+def test_mark_deleted_sets_d_flag():
+    mt = Memtable()
+    mt.put(b"k", 1, loc(), deduplicated=False)
+    item = mt.mark_deleted(b"k", 1)
+    assert item.deleted
+    assert mt.get(b"k", 1).deleted
+    assert mt.mark_deleted(b"missing", 1) is None
+
+
+def test_drop_removes_item():
+    mt = Memtable()
+    mt.put(b"k", 1, loc(), deduplicated=False)
+    mt.drop(b"k", 1)
+    assert mt.get(b"k", 1) is None
+    with pytest.raises(KeyNotFoundError):
+        mt.drop(b"k", 1)
+
+
+def test_versions_aggregate_in_order():
+    mt = Memtable()
+    for version in (3, 1, 7, 2):
+        mt.put(b"k", version, loc(offset=version), deduplicated=False)
+    assert [v for v, _i in mt.versions_of(b"k")] == [1, 2, 3, 7]
+
+
+def test_older_versions_descend():
+    mt = Memtable()
+    for version in (1, 2, 3, 4):
+        mt.put(b"k", version, loc(), deduplicated=False)
+    mt.put(b"other", 9, loc(), deduplicated=False)
+    assert [v for v, _i in mt.older_versions(b"k", 3)] == [2, 1]
+
+
+def test_newer_versions_ascend():
+    mt = Memtable()
+    for version in (1, 2, 3, 4):
+        mt.put(b"k", version, loc(), deduplicated=False)
+    mt.put(b"zz", 1, loc(), deduplicated=False)
+    assert [v for v, _i in mt.newer_versions(b"k", 2)] == [3, 4]
+
+
+def test_version_walks_do_not_cross_keys():
+    mt = Memtable()
+    mt.put(b"a", 5, loc(), deduplicated=False)
+    mt.put(b"b", 1, loc(), deduplicated=False)
+    mt.put(b"c", 9, loc(), deduplicated=False)
+    assert list(mt.older_versions(b"b", 1)) == []
+    assert list(mt.newer_versions(b"b", 1)) == []
+
+
+def test_latest_version():
+    mt = Memtable()
+    assert mt.latest_version(b"k") is None
+    for version in (1, 5, 3):
+        mt.put(b"k", version, loc(), deduplicated=False)
+    mt.put(b"k2", 99, loc(), deduplicated=False)
+    latest = mt.latest_version(b"k")
+    assert latest is not None
+    assert latest[0] == 5
+
+
+def test_scan_by_key_range():
+    mt = Memtable()
+    for key in (b"a", b"b", b"c", b"d"):
+        mt.put(key, 1, loc(), deduplicated=False)
+    scanned = [k for k, _v, _i in mt.scan(b"b", b"d")]
+    assert scanned == [b"b", b"c"]
+
+
+def test_approximate_bytes_tracks_inserts_and_drops():
+    mt = Memtable()
+    assert mt.approximate_bytes == 0
+    mt.put(b"key-one", 1, loc(), deduplicated=False)
+    grown = mt.approximate_bytes
+    assert grown > 0
+    mt.put(b"key-one", 1, loc(offset=5), deduplicated=False)  # replace
+    assert mt.approximate_bytes == grown
+    mt.drop(b"key-one", 1)
+    assert mt.approximate_bytes == 0

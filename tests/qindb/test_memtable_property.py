@@ -1,0 +1,62 @@
+"""Property tests for the memtable's version-neighbourhood walks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qindb.aof import RecordLocation
+from repro.qindb.memtable import Memtable
+
+KEYS = [b"a", b"ab", b"b"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    entries=st.sets(
+        st.tuples(
+            st.sampled_from(KEYS), st.integers(min_value=0, max_value=50)
+        ),
+        max_size=60,
+    ),
+    probe_key=st.sampled_from(KEYS),
+    probe_version=st.integers(min_value=0, max_value=50),
+)
+def test_property_version_walks_match_model(entries, probe_key, probe_version):
+    memtable = Memtable()
+    for key, version in entries:
+        memtable.put(key, version, RecordLocation(0, 0, 1), deduplicated=False)
+
+    model = sorted(v for k, v in entries if k == probe_key)
+
+    older = [v for v, _item in memtable.older_versions(probe_key, probe_version)]
+    assert older == [v for v in reversed(model) if v < probe_version]
+
+    newer = [v for v, _item in memtable.newer_versions(probe_key, probe_version)]
+    assert newer == [v for v in model if v > probe_version]
+
+    all_versions = [v for v, _item in memtable.versions_of(probe_key)]
+    assert all_versions == model
+
+    latest = memtable.latest_version(probe_key)
+    assert (latest[0] if latest else None) == (model[-1] if model else None)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    entries=st.sets(
+        st.tuples(
+            st.sampled_from(KEYS), st.integers(min_value=0, max_value=30)
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    low=st.sampled_from(KEYS),
+    high=st.sampled_from(KEYS),
+)
+def test_property_scan_matches_model(entries, low, high):
+    memtable = Memtable()
+    for key, version in entries:
+        memtable.put(key, version, RecordLocation(0, 0, 1), deduplicated=False)
+    scanned = [(k, v) for k, v, _item in memtable.scan(low, high)]
+    expected = sorted((k, v) for k, v in entries if low <= k < high)
+    assert scanned == expected

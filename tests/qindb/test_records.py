@@ -1,0 +1,162 @@
+"""Unit + property tests for AOF record framing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError, StorageError
+from repro.qindb.records import (
+    HEADER_SIZE,
+    Record,
+    RecordType,
+    decode_record,
+    encode_record,
+    scan_records,
+)
+
+
+def test_roundtrip_put_value():
+    record = Record(RecordType.PUT_VALUE, b"url-1", 7, b"payload")
+    decoded, end = decode_record(encode_record(record))
+    assert decoded == record
+    assert end == record.encoded_size
+
+
+def test_roundtrip_dedup_and_delete():
+    for rtype in (RecordType.PUT_DEDUP, RecordType.DELETE):
+        record = Record(rtype, b"key", 3)
+        decoded, _end = decode_record(encode_record(record))
+        assert decoded == record
+        assert not decoded.has_value
+
+
+def test_valueless_types_reject_values():
+    with pytest.raises(StorageError):
+        Record(RecordType.PUT_DEDUP, b"k", 1, b"oops")
+    with pytest.raises(StorageError):
+        Record(RecordType.DELETE, b"k", 1, b"oops")
+
+
+def test_version_bounds():
+    with pytest.raises(StorageError):
+        Record(RecordType.PUT_VALUE, b"k", -1, b"v")
+    with pytest.raises(StorageError):
+        Record(RecordType.PUT_VALUE, b"k", 2**64, b"v")
+    # The extremes are fine.
+    Record(RecordType.PUT_VALUE, b"k", 0, b"v")
+    Record(RecordType.PUT_VALUE, b"k", 2**64 - 1, b"v")
+
+
+def test_corrupted_payload_detected():
+    encoded = bytearray(encode_record(Record(RecordType.PUT_VALUE, b"k", 1, b"vvvv")))
+    encoded[-1] ^= 0xFF
+    with pytest.raises(CorruptionError, match="CRC"):
+        decode_record(bytes(encoded))
+
+
+def test_corrupted_header_magic_detected():
+    encoded = bytearray(encode_record(Record(RecordType.PUT_VALUE, b"k", 1, b"v")))
+    encoded[0] = 0x00
+    with pytest.raises(CorruptionError, match="magic"):
+        decode_record(bytes(encoded))
+
+
+def test_truncated_header_detected():
+    encoded = encode_record(Record(RecordType.PUT_VALUE, b"k", 1, b"v"))
+    with pytest.raises(CorruptionError, match="truncated header"):
+        decode_record(encoded[: HEADER_SIZE - 1])
+
+
+def test_truncated_body_detected():
+    encoded = encode_record(Record(RecordType.PUT_VALUE, b"k", 1, b"vvvv"))
+    with pytest.raises(CorruptionError, match="truncated body"):
+        decode_record(encoded[:-2])
+
+
+def test_scan_records_sequential():
+    records = [
+        Record(RecordType.PUT_VALUE, f"k{i}".encode(), i, b"x" * i)
+        for i in range(1, 6)
+    ]
+    image = b"".join(encode_record(r) for r in records)
+    scanned = list(scan_records(image))
+    assert [r for _o, r in scanned] == records
+    offsets = [o for o, _r in scanned]
+    assert offsets == sorted(offsets)
+
+
+def test_scan_skips_page_padding():
+    page = 256
+    first = encode_record(Record(RecordType.PUT_VALUE, b"a", 1, b"1"))
+    padded = first + b"\x00" * (page - len(first) % page)
+    second = encode_record(Record(RecordType.PUT_VALUE, b"b", 2, b"2"))
+    image = padded + second
+    scanned = [r.key for _o, r in scan_records(image, page_size=page)]
+    assert scanned == [b"a", b"b"]
+
+
+def test_scan_without_page_size_stops_at_padding():
+    first = encode_record(Record(RecordType.PUT_VALUE, b"a", 1, b"1"))
+    image = first + b"\x00" * 100
+    assert [r.key for _o, r in scan_records(image)] == [b"a"]
+
+
+@given(
+    key=st.binary(min_size=1, max_size=64),
+    version=st.integers(min_value=0, max_value=2**64 - 1),
+    value=st.binary(max_size=2048),
+)
+def test_property_roundtrip(key, version, value):
+    record = Record(RecordType.PUT_VALUE, key, version, value)
+    decoded, end = decode_record(encode_record(record))
+    assert decoded == record
+    assert end == HEADER_SIZE + len(key) + len(value)
+
+
+@given(
+    records=st.lists(
+        st.tuples(
+            st.binary(min_size=1, max_size=16),
+            st.integers(min_value=0, max_value=1000),
+            st.binary(max_size=128),
+        ),
+        max_size=30,
+    )
+)
+def test_property_scan_reconstructs_stream(records):
+    built = [Record(RecordType.PUT_VALUE, k, v, d) for k, v, d in records]
+    image = b"".join(encode_record(r) for r in built)
+    assert [r for _o, r in scan_records(image)] == built
+
+
+def test_torn_tail_tolerated_when_requested():
+    records = [
+        Record(RecordType.PUT_VALUE, b"whole", 1, b"x" * 50),
+        Record(RecordType.PUT_VALUE, b"torn", 2, b"y" * 50),
+    ]
+    image = b"".join(encode_record(r) for r in records)
+    torn = image[:-20]  # the crash cut the last record short
+    survived = [r.key for _o, r in scan_records(torn, tolerate_torn_tail=True)]
+    assert survived == [b"whole"]
+
+
+def test_torn_tail_raises_by_default():
+    from repro.errors import TruncatedRecordError
+
+    image = encode_record(Record(RecordType.PUT_VALUE, b"k", 1, b"v" * 50))
+    with pytest.raises(TruncatedRecordError):
+        list(scan_records(image[:-5]))
+
+
+def test_torn_header_tolerated_too():
+    image = encode_record(Record(RecordType.PUT_VALUE, b"k", 1, b"v"))
+    torn = image + image[:10]  # a header fragment at the tail
+    survived = list(scan_records(torn, tolerate_torn_tail=True))
+    assert len(survived) == 1
+
+
+def test_crc_failure_still_raises_even_with_tolerance():
+    image = bytearray(encode_record(Record(RecordType.PUT_VALUE, b"k", 1, b"vvvv")))
+    image[-1] ^= 0xFF
+    with pytest.raises(CorruptionError, match="CRC"):
+        list(scan_records(bytes(image), tolerate_torn_tail=True))

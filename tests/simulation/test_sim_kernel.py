@@ -1,0 +1,119 @@
+"""Unit tests for the simulator event loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.kernel import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Simulator(start=100.0).now == 100.0
+
+
+def test_run_drains_queue_and_advances_clock(sim):
+    sim.timeout(5.0)
+    sim.timeout(2.0)
+    sim.run()
+    assert sim.now == 5.0
+
+
+def test_run_until_deadline_stops_clock_exactly(sim):
+    sim.timeout(10.0)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_until_past_deadline_rejected(sim):
+    sim.timeout(5.0)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_run_until_event_returns_its_value(sim):
+    def worker(sim):
+        yield sim.timeout(3.0)
+        return "answer"
+
+    process = sim.process(worker(sim))
+    assert sim.run(until=process) == "answer"
+    assert sim.now == 3.0
+
+
+def test_run_until_event_reraises_failure(sim):
+    def worker(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("exploded")
+
+    process = sim.process(worker(sim))
+    with pytest.raises(ValueError, match="exploded"):
+        sim.run(until=process)
+
+
+def test_run_until_never_triggering_event_is_an_error(sim):
+    stuck = sim.event()
+    sim.timeout(1.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=stuck)
+
+
+def test_events_at_same_time_run_in_schedule_order(sim):
+    order = []
+    for name in ("first", "second", "third"):
+        sim.timeout(1.0).add_callback(
+            lambda event, name=name: order.append(name)
+        )
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_step_on_empty_queue_is_an_error(sim):
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_peek_reports_next_event_time(sim):
+    assert sim.peek() == float("inf")
+    sim.timeout(7.0)
+    sim.timeout(3.0)
+    assert sim.peek() == 3.0
+
+
+def test_determinism_same_seeded_program_same_trace():
+    def program():
+        sim = Simulator()
+        trace = []
+
+        def worker(sim, name, delay):
+            yield sim.timeout(delay)
+            trace.append((sim.now, name))
+            yield sim.timeout(delay)
+            trace.append((sim.now, name))
+
+        for index in range(5):
+            sim.process(worker(sim, f"w{index}", 0.5 + index * 0.1))
+        sim.run()
+        return trace
+
+    assert program() == program()
+
+
+def test_many_processes_interleave_correctly(sim):
+    counter = [0]
+
+    def worker(sim, ticks):
+        for _ in range(ticks):
+            yield sim.timeout(1.0)
+            counter[0] += 1
+
+    for _ in range(10):
+        sim.process(worker(sim, 10))
+    sim.run()
+    assert counter[0] == 100
+    assert sim.now == 10.0

@@ -1,0 +1,136 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.resources import Resource, Store
+
+
+def test_resource_capacity_validation(sim):
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_grants_up_to_capacity_immediately(sim):
+    resource = Resource(sim, capacity=2)
+    first = resource.acquire()
+    second = resource.acquire()
+    third = resource.acquire()
+    assert first.triggered and second.triggered
+    assert not third.triggered
+    assert resource.in_use == 2
+    assert resource.queue_length == 1
+
+
+def test_release_hands_slot_to_waiter(sim):
+    resource = Resource(sim, capacity=1)
+    resource.acquire()
+    waiter = resource.acquire()
+    assert not waiter.triggered
+    resource.release()
+    assert waiter.triggered
+    assert resource.in_use == 1  # handed over, not freed
+
+
+def test_release_without_hold_is_an_error(sim):
+    resource = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_resource_serializes_processes(sim):
+    resource = Resource(sim, capacity=1)
+    spans = []
+
+    def worker(sim, resource, name):
+        yield resource.acquire()
+        start = sim.now
+        yield sim.timeout(2.0)
+        resource.release()
+        spans.append((name, start, sim.now))
+
+    sim.process(worker(sim, resource, "a"))
+    sim.process(worker(sim, resource, "b"))
+    sim.run()
+    assert spans == [("a", 0.0, 2.0), ("b", 2.0, 4.0)]
+
+
+def test_fifo_fairness_of_waiters(sim):
+    resource = Resource(sim, capacity=1)
+    order = []
+
+    def worker(sim, resource, name):
+        yield resource.acquire()
+        order.append(name)
+        yield sim.timeout(1.0)
+        resource.release()
+
+    for name in ("first", "second", "third"):
+        sim.process(worker(sim, resource, name))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_store_put_then_get(sim):
+    store = Store(sim)
+    store.put("item")
+    assert len(store) == 1
+    event = store.get()
+    assert event.triggered
+    assert event.value == "item"
+    assert len(store) == 0
+
+
+def test_store_get_blocks_until_put(sim):
+    store = Store(sim)
+    received = []
+
+    def consumer(sim, store):
+        item = yield store.get()
+        received.append((sim.now, item))
+
+    def producer(sim, store):
+        yield sim.timeout(3.0)
+        store.put("late-item")
+
+    sim.process(consumer(sim, store))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert received == [(3.0, "late-item")]
+
+
+def test_store_fifo_ordering(sim):
+    store = Store(sim)
+    for item in range(5):
+        store.put(item)
+    received = []
+
+    def consumer(sim, store):
+        for _ in range(5):
+            item = yield store.get()
+            received.append(item)
+
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert received == [0, 1, 2, 3, 4]
+
+
+def test_store_multiple_blocked_consumers_fifo(sim):
+    store = Store(sim)
+    received = []
+
+    def consumer(sim, store, name):
+        item = yield store.get()
+        received.append((name, item))
+
+    sim.process(consumer(sim, store, "c1"))
+    sim.process(consumer(sim, store, "c2"))
+
+    def producer(sim, store):
+        yield sim.timeout(1.0)
+        store.put("x")
+        store.put("y")
+
+    sim.process(producer(sim, store))
+    sim.run()
+    assert received == [("c1", "x"), ("c2", "y")]

@@ -1,0 +1,112 @@
+"""Unit tests for the native (block-aligned) interface."""
+
+import pytest
+
+from repro.errors import DeviceFullError, OutOfRangeError, StorageError
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.native import NativeBlockInterface
+
+
+@pytest.fixture
+def native():
+    geometry = SSDGeometry(block_count=16, pages_per_block=8, page_size=512)
+    return NativeBlockInterface(SimulatedSSD(geometry))
+
+
+def test_append_and_read_roundtrip(native):
+    unit = native.open_unit("aof")
+    offset = unit.append(b"hello")
+    assert offset == 0
+    assert unit.read(0, 5) == b"hello"
+
+
+def test_partial_page_stays_buffered_until_flush(native):
+    device = native.device
+    unit = native.open_unit("aof")
+    unit.append(b"x" * 100)
+    assert device.counters.host_pages_written == 0  # still buffered
+    unit.flush()
+    assert device.counters.host_pages_written == 1
+    assert unit.programmed_bytes == 512
+
+
+def test_full_pages_program_as_they_fill(native):
+    device = native.device
+    unit = native.open_unit("aof")
+    unit.append(b"x" * (512 * 3 + 10))
+    assert device.counters.host_pages_written == 3
+    assert len(unit._pending) == 10
+
+
+def test_flush_padding_shifts_next_append_to_page_boundary(native):
+    unit = native.open_unit("aof")
+    unit.append(b"abc")
+    unit.flush()
+    offset = unit.append(b"def")
+    assert offset == 512  # after the padded page
+    assert unit.read(512, 3) == b"def"
+    assert unit.read(0, 3) == b"abc"
+
+
+def test_blocks_allocated_on_demand(native):
+    unit = native.open_unit("aof")
+    assert unit.block_count == 0
+    unit.append(b"z" * 512)
+    assert unit.block_count == 1
+    unit.append(b"z" * 512 * 8)  # spills into a second block
+    assert unit.block_count == 2
+    assert unit.occupied_bytes == 2 * 512 * 8
+
+
+def test_reads_of_buffered_bytes_cost_no_flash_reads(native):
+    device = native.device
+    unit = native.open_unit("aof")
+    unit.append(b"q" * 100)
+    before = device.counters.host_pages_read
+    assert unit.read(0, 50) == b"q" * 50
+    assert device.counters.host_pages_read == before
+
+
+def test_read_bounds_checked(native):
+    unit = native.open_unit("aof")
+    unit.append(b"abc")
+    with pytest.raises(OutOfRangeError):
+        unit.read(0, 10)
+    with pytest.raises(OutOfRangeError):
+        unit.read(-1, 1)
+
+
+def test_erase_returns_blocks_and_kills_unit(native):
+    device = native.device
+    unit = native.open_unit("aof")
+    unit.append(b"x" * 512 * 10)
+    assert device.free_block_count < device.geometry.block_count
+    unit.erase()
+    assert device.free_block_count == device.geometry.block_count
+    with pytest.raises(StorageError):
+        unit.append(b"more")
+    with pytest.raises(StorageError):
+        unit.read(0, 1)
+
+
+def test_native_path_has_unit_write_amplification(native):
+    device = native.device
+    unit = native.open_unit("aof")
+    unit.append(b"v" * 512 * 30)
+    unit.flush()
+    assert device.counters.gc_pages_written == 0
+    assert device.counters.hardware_write_amplification == 1.0
+
+
+def test_device_exhaustion_raises(native):
+    unit = native.open_unit("hog")
+    capacity = native.device.geometry.physical_capacity
+    with pytest.raises(DeviceFullError):
+        unit.append(b"x" * (capacity + 512 * 8))
+
+
+def test_unit_tags_are_unique_by_default(native):
+    first = native.open_unit()
+    second = native.open_unit()
+    assert first.tag != second.tag

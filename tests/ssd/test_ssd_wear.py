@@ -1,0 +1,61 @@
+"""Wear-leveling behaviour of the device's FIFO free pool.
+
+The paper cares about flash lifetime ("the cost to build an LSM-tree on
+SSD is ... not suitable due to its life span based on limited write
+cycles"); the simulated device recycles erased blocks through a FIFO
+pool, which spreads erases round-robin.  These tests pin that property
+so the write-amplification numbers can be read as lifetime numbers.
+"""
+
+import random
+
+from repro.qindb.engine import QinDB, QinDBConfig
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.ftl import FlashTranslationLayer
+from repro.ssd.geometry import SSDGeometry
+
+
+def test_ftl_churn_spreads_erases_evenly():
+    geometry = SSDGeometry(
+        block_count=32, pages_per_block=8, page_size=512, op_ratio=0.2
+    )
+    device = SimulatedSSD(geometry)
+    ftl = FlashTranslationLayer(device)
+    rng = random.Random(0)
+    pages = geometry.exported_pages
+    for _ in range(pages * 12):
+        ftl.write([rng.randrange(pages // 2)])
+    summary = device.wear_summary()
+    assert summary["total_erases"] > 0
+    # Round-robin recycling keeps the spread tight: no block sees more
+    # than ~3x the mean wear.
+    assert summary["max_erases"] <= 3 * max(1.0, summary["mean_erases"])
+
+
+def test_qindb_segment_recycling_wears_evenly():
+    engine = QinDB.with_capacity(
+        8 * 1024 * 1024,
+        config=QinDBConfig(
+            segment_bytes=256 * 1024, gc_defer_min_free_blocks=0
+        ),
+    )
+    for version in range(1, 16):
+        for index in range(40):
+            engine.put(f"k{index:03d}".encode(), version, bytes([version]) * 3000)
+        if version > 2:
+            for index in range(40):
+                engine.delete(f"k{index:03d}".encode(), version - 2)
+    summary = engine.device.wear_summary()
+    assert summary["total_erases"] > 0
+    assert summary["max_erases"] <= summary["mean_erases"] * 3 + 2
+
+
+def test_wear_totals_match_counters():
+    geometry = SSDGeometry(block_count=16, pages_per_block=8, page_size=512)
+    device = SimulatedSSD(geometry)
+    block = device.allocate_block("x")
+    for _ in range(5):
+        device.program(block.block_id, 1)
+        device.erase_block(block.block_id)
+        block = device.allocate_block("x")
+    assert device.wear_summary()["total_erases"] == device.counters.blocks_erased
