@@ -1,0 +1,141 @@
+"""Ablation A8 — the QinDB record read cache under a zipfian read mix.
+
+The paper's QinDB serves every GET with "one positioned SSD access"; the
+record cache (off by default, so the reproduced figures are untouched)
+trades RAM for skipping that access on hot records.  This bench sweeps
+the cache budget — off / small / large — over an identical zipfian read
+workload (hot dedup chains included, so traceback resolution shares
+cached base records) and reports hit rate, mean simulated read latency,
+and the device reads actually saved.
+
+Honesty check: the hit-rate counter must *explain* the device-read
+savings — misses × pages-per-uncached-read ≈ pages actually read — so a
+"fast" configuration cannot come from mis-charged simulated time.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.qindb.engine import QinDB, QinDBConfig
+from repro.workloads.kvtrace import make_value
+
+KEYS = 192
+VALUE_BYTES = 8 * 1024
+VERSIONS = 3  # version 1 carries the value; 2-3 are deduplicated
+READS = 2400
+ZIPF_S = 1.1
+DEVICE_BYTES = 64 * 1024 * 1024
+
+SWEEP = [
+    ("off", None),
+    ("small", 256 * 1024),
+    ("large", 8 * 1024 * 1024),
+]
+
+
+def _key(index: int) -> bytes:
+    return f"zipf-key-{index:05d}".encode()
+
+
+def _zipf_sequence(rng: random.Random, count: int):
+    weights = [1.0 / (rank + 1) ** ZIPF_S for rank in range(KEYS)]
+    return rng.choices(range(KEYS), weights=weights, k=count)
+
+
+def _build(cache_bytes) -> QinDB:
+    engine = QinDB.with_capacity(
+        DEVICE_BYTES,
+        config=QinDBConfig(
+            segment_bytes=2 * 1024 * 1024, read_cache_bytes=cache_bytes
+        ),
+    )
+    for index in range(KEYS):
+        engine.put(_key(index), 1, make_value(_key(index), 1, VALUE_BYTES))
+        for version in range(2, VERSIONS + 1):
+            engine.put(_key(index), version, None)
+    engine.flush()
+    return engine
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    warm_sequence = _zipf_sequence(random.Random(42), READS)
+    measured_sequence = _zipf_sequence(random.Random(43), READS)
+    results = {}
+    for label, cache_bytes in SWEEP:
+        engine = _build(cache_bytes)
+        rng = random.Random(7)
+        for index in warm_sequence:  # warm phase: populate the cache
+            engine.get(_key(index), rng.randint(1, VERSIONS))
+        if engine.read_cache is not None:
+            engine.read_cache.reset_counters()
+        pages_before = engine.device.counters.total_pages_read
+        started = engine.device.now
+        rng = random.Random(7)
+        for index in measured_sequence:
+            engine.get(_key(index), rng.randint(1, VERSIONS))
+        stats = engine.stats()
+        results[label] = {
+            "mean_latency_s": (engine.device.now - started) / READS,
+            "hit_rate": stats.read_cache_hit_rate,
+            "hits": stats.read_cache_hits,
+            "misses": stats.read_cache_misses,
+            "pages_read": engine.device.counters.total_pages_read - pages_before,
+            "cache_bytes": cache_bytes or 0,
+            "used_bytes": stats.read_cache_used_bytes,
+        }
+    return results
+
+
+def test_ablation_read_cache_sweep(sweep_results, benchmark):
+    print("\n=== Ablation A8: QinDB record cache, zipfian reads ===")
+    print(
+        render_table(
+            ["cache", "budget (KB)", "hit rate", "mean read (us)", "device pages read"],
+            [
+                [
+                    label,
+                    f"{data['cache_bytes'] // 1024}",
+                    f"{data['hit_rate'] * 100:.1f}%",
+                    f"{data['mean_latency_s'] * 1e6:.1f}",
+                    data["pages_read"],
+                ]
+                for label, data in sweep_results.items()
+            ],
+        )
+    )
+    off = sweep_results["off"]
+    small = sweep_results["small"]
+    large = sweep_results["large"]
+
+    # Cache off is exactly today's behavior: no lookups at all.
+    assert off["hit_rate"] == 0.0 and off["misses"] == 0
+
+    # A large warm cache serves the zipfian working set from RAM...
+    assert large["hit_rate"] > 0.9
+    # ...making mean simulated read latency >= 5x lower than cache-off.
+    assert large["mean_latency_s"] * 5 <= off["mean_latency_s"]
+
+    # The small budget sits between the extremes on both axes.
+    assert 0.05 < small["hit_rate"] < large["hit_rate"]
+    assert (
+        large["mean_latency_s"] < small["mean_latency_s"] < off["mean_latency_s"]
+    )
+    assert small["used_bytes"] <= small["cache_bytes"]
+
+    benchmark(lambda: off["mean_latency_s"] / large["mean_latency_s"])
+
+
+def test_ablation_read_cache_hit_rate_explains_device_savings(sweep_results):
+    """Misses x pages-per-uncached-read must reproduce the pages the
+    device actually served — the hit counter cannot overclaim."""
+    off = sweep_results["off"]
+    pages_per_read = off["pages_read"] / READS
+    for label in ("small", "large"):
+        data = sweep_results[label]
+        expected_pages = data["misses"] * pages_per_read
+        assert data["pages_read"] == pytest.approx(
+            expected_pages, rel=0.2, abs=2 * pages_per_read
+        )

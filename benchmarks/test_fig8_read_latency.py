@@ -188,6 +188,88 @@ def test_fig8b_latency_with_updates(latency_results, benchmark):
     benchmark(lambda: l.percentile(99.9))
 
 
+def _replica_group():
+    """Three QinDB replicas holding the same key set (replica_count=3)."""
+    from repro.mint.group import NodeGroup
+    from repro.mint.node import StorageNode
+
+    nodes = [
+        StorageNode(
+            f"n{index}",
+            QinDB.with_capacity(
+                64 * 1024 * 1024,
+                config=QinDBConfig(segment_bytes=2 * 1024 * 1024),
+            ),
+        )
+        for index in range(3)
+    ]
+    group = NodeGroup(0, nodes, replica_count=3)
+    for index in range(32):
+        group.put(_key(index), 1, make_value(_key(index), 1, VALUE_BYTES))
+    for node in group.nodes:
+        node.engine.flush()
+    return group
+
+
+def test_fig8_replica_fanout_balances_hot_reads(benchmark):
+    """The paper fans reads "to the relevant nodes in parallel" — the
+    group's least-loaded replica selection makes that fan-out actually
+    spread a hot key set's reads, instead of the rendezvous-top node's
+    device clock absorbing the whole group's read load."""
+    reads = 600
+    hot_key = _key(0)
+
+    balanced = _replica_group()
+    load_end = max(node.engine.device.now for node in balanced.nodes)
+    for _ in range(reads):
+        balanced.get(hot_key, 1)
+    balanced_makespan = (
+        max(node.engine.device.now for node in balanced.nodes) - load_end
+    )
+    counts = {node.name: node.gets for node in balanced.nodes}
+
+    # Baseline: the old policy, every read pinned to the top-ranked replica.
+    pinned = _replica_group()
+    load_end = max(node.engine.device.now for node in pinned.nodes)
+    for _ in range(reads):
+        pinned.replicas_for(hot_key)[0].get(hot_key, 1)
+    pinned_makespan = (
+        max(node.engine.device.now for node in pinned.nodes) - load_end
+    )
+    pinned_counts = {node.name: node.gets for node in pinned.nodes}
+
+    print("\n=== Figure 8 companion: hot reads across a 3-replica group ===")
+    print(
+        render_table(
+            ["policy", "per-node reads", "read makespan (ms)"],
+            [
+                [
+                    "least-loaded (new)",
+                    "/".join(str(counts[n]) for n in sorted(counts)),
+                    f"{balanced_makespan * 1e3:.2f}",
+                ],
+                [
+                    "pinned top-ranked (old)",
+                    "/".join(
+                        str(pinned_counts[n]) for n in sorted(pinned_counts)
+                    ),
+                    f"{pinned_makespan * 1e3:.2f}",
+                ],
+            ],
+        )
+    )
+
+    # Reads spread: every replica serves, none serves more than ~half.
+    assert sum(counts.values()) == reads
+    assert max(counts.values()) <= reads // 2
+    assert min(counts.values()) > 0
+    # The balanced group's read makespan approaches 1/replica_count of the
+    # pinned policy's (perfect spreading would be exactly 1/3).
+    assert balanced_makespan < 0.5 * pinned_makespan
+
+    benchmark(lambda: pinned_makespan / balanced_makespan)
+
+
 def test_fig8_updates_widen_the_lsm_tail(latency_results, benchmark):
     quiet = latency_results["no-updates"]["lsm"].percentile(99.0)
     busy = latency_results["updates"]["lsm"].percentile(99.0)

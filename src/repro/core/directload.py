@@ -302,10 +302,20 @@ class DirectLoad:
             raise KeyNotFoundError("no active version yet")
         return self.clusters[dc].query(kind, key, version)
 
-    def fleet_stats(self) -> Dict[str, float]:
-        """Aggregate storage counters across all data centers."""
-        totals: Dict[str, float] = {}
+    def fleet_stats(self) -> Dict[str, object]:
+        """Aggregate storage counters across all data centers.
+
+        Scalar counters sum; mapping-valued counters (``gets_per_node``)
+        merge — node names are unique fleet-wide (prefixed with their
+        cluster's name), so the merge is a union.
+        """
+        totals: Dict[str, object] = {}
         for cluster in self.clusters.values():
             for name, value in cluster.stats().items():
-                totals[name] = totals.get(name, 0) + value
+                if isinstance(value, dict):
+                    merged = totals.setdefault(name, {})
+                    for sub_name, sub_value in value.items():
+                        merged[sub_name] = merged.get(sub_name, 0) + sub_value
+                else:
+                    totals[name] = totals.get(name, 0) + value
         return totals

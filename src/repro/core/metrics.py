@@ -5,7 +5,10 @@
 * :class:`PercentileTracker` — latency samples with avg/p99/p99.9
   summaries (Figure 8's three statistical points);
 * :class:`ThroughputSampler` — periodic counter snapshots turned into
-  per-interval deltas (how the paper's firmware counters become curves).
+  per-interval deltas (how the paper's firmware counters become curves);
+* :class:`CacheCounters` — hit/miss/eviction/invalidation accounting
+  shared by the read-side caches (LSM block cache idiom, QinDB record
+  cache), so ablations report hit rates the same way everywhere.
 """
 
 from __future__ import annotations
@@ -86,6 +89,47 @@ class PercentileTracker:
             "avg": self.mean,
             "p99": self.percentile(99.0),
             "p999": self.percentile(99.9),
+        }
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss/eviction/invalidation tallies for one cache instance.
+
+    ``hits + misses`` is the lookup count; evictions are capacity-driven
+    removals, invalidations are correctness-driven ones (a compaction
+    deleted the file, a GC erased the segment).  Keeping the two apart is
+    what lets the ablations distinguish "the cache was too small" from
+    "the write path killed the cache".
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidated: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def reset_lookups(self) -> None:
+        """Zero the hit/miss tallies (per-phase measurements)."""
+        self.hits = 0
+        self.misses = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat counter view for table/report aggregation."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidated": self.invalidated,
+            "hit_rate": self.hit_rate,
         }
 
 

@@ -182,9 +182,14 @@ class MintCluster:
             yield skey[len(prefix):], item_version, value
 
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, float]:
-        """Aggregate engine counters across all nodes."""
-        totals = {
+    def stats(self) -> Dict[str, object]:
+        """Aggregate engine counters across all nodes.
+
+        All values are scalar totals except ``gets_per_node``, a
+        node-name → read-count map: the witness for whether replica
+        reads actually spread across a group or pile onto one node.
+        """
+        totals: Dict[str, object] = {
             "nodes": 0,
             "healthy_nodes": 0,
             "puts": 0,
@@ -194,16 +199,19 @@ class MintCluster:
             "disk_used_bytes": 0,
             "busy_time_s": 0.0,
         }
+        gets_per_node: Dict[str, int] = {}
         for node in self.all_nodes:
             totals["nodes"] += 1
             totals["healthy_nodes"] += 1 if node.is_up else 0
             totals["puts"] += node.puts
             totals["gets"] += node.gets
             totals["deletes"] += node.deletes
+            gets_per_node[node.name] = node.gets
             stats = node.engine.stats()
             totals["user_bytes_written"] += stats.user_bytes_written
             totals["disk_used_bytes"] += stats.disk_used_bytes
             totals["busy_time_s"] += node.engine.device.counters.busy_time_s
+        totals["gets_per_node"] = gets_per_node
         return totals
 
     @property

@@ -98,20 +98,46 @@ class NodeGroup:
             )
         return written
 
+    def read_order(self, key: bytes) -> List[StorageNode]:
+        """The key's replicas, least-loaded first.
+
+        Load is the replica's device clock (``engine.device.now``): the
+        node that has accumulated the least simulated work serves next,
+        so a hot key's reads rotate across its replica set instead of
+        pinning the rendezvous-top node.  Down replicas sort last (they
+        only matter as failover of last resort) and ties break by
+        rendezvous rank, keeping the order deterministic.
+        """
+        replicas = self.replicas_for(key)
+        return [
+            node
+            for _rank, node in sorted(
+                enumerate(replicas),
+                key=lambda pair: (
+                    not pair[1].is_up,
+                    pair[1].engine.device.now,
+                    pair[0],
+                ),
+            )
+        ]
+
     def get(self, key: bytes, version: int) -> bytes:
-        """Read from the replicas, first healthy answer wins.
+        """Read from the least-loaded live replica, with failover.
 
-        The paper sends requests "to the relevant nodes in parallel"; in
-        the simulation the first live replica answers and absorbs the
-        read cost, which models the parallel fan-out's latency-hiding.
+        The paper sends requests "to the relevant nodes in parallel";
+        the simulation models that fan-out actually *spreading* load:
+        the least-loaded live replica (see :meth:`read_order`) answers
+        and absorbs the read cost, so no single device clock soaks up a
+        whole group's read traffic.
 
-        A replica that is up but *missing* the key (it lost an unflushed
-        tail in a crash and has not been repaired yet) is skipped the
-        same way a down replica is — the parallel fan-out masks it.
+        Failover semantics are unchanged: a down replica is skipped, and
+        a replica that is up but *missing* the key (it lost an unflushed
+        tail in a crash and has not been repaired yet) falls through to
+        the next the same way — the parallel fan-out masks both.
         """
         missing: KeyNotFoundError | None = None
         all_down = True
-        for node in self.replicas_for(key):
+        for node in self.read_order(key):
             try:
                 return node.get(key, version)
             except NodeDownError:

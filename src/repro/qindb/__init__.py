@@ -25,6 +25,7 @@ from repro.qindb.checkpoint import Checkpoint
 from repro.qindb.engine import QinDB, QinDBConfig
 from repro.qindb.gctable import GCTable, SegmentOccupancy
 from repro.qindb.memtable import IndexItem, Memtable
+from repro.qindb.readcache import RecordCache
 from repro.qindb.records import Record, RecordType, decode_record, encode_record
 from repro.qindb.skiplist import SkipListMap
 
@@ -38,6 +39,7 @@ __all__ = [
     "QinDB",
     "QinDBConfig",
     "Record",
+    "RecordCache",
     "RecordLocation",
     "RecordType",
     "SegmentOccupancy",

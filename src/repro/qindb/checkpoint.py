@@ -39,6 +39,7 @@ from repro.qindb.aof import AofManager, RecordLocation
 from repro.qindb.engine import QinDB, QinDBConfig
 from repro.qindb.gctable import GCTable
 from repro.qindb.memtable import Memtable
+from repro.qindb.readcache import RecordCache
 from repro.qindb.records import RecordType
 from repro.ssd.native import NativeBlockInterface, NativeUnit
 
@@ -168,6 +169,12 @@ def recover(
     engine.aofs = aofs
     engine.memtable = Memtable(seed=engine.config.memtable_seed)
     engine.gc_table = GCTable(threshold=engine.config.gc_occupancy_threshold)
+    # The read cache is volatile: a recovered node starts cold.
+    engine.read_cache = (
+        RecordCache(engine.config.read_cache_bytes)
+        if engine.config.read_cache_bytes
+        else None
+    )
     engine.user_bytes_written = 0
     engine.user_bytes_read = 0
     engine.gc_runs = 0

@@ -33,6 +33,7 @@ from repro.errors import (
 from repro.qindb.aof import AofManager, RecordLocation
 from repro.qindb.gctable import GCTable
 from repro.qindb.memtable import IndexItem, Memtable
+from repro.qindb.readcache import RecordCache
 from repro.qindb.records import Record, RecordType
 from repro.ssd.device import SimulatedSSD
 from repro.ssd.geometry import SSDGeometry
@@ -64,6 +65,10 @@ class QinDBConfig:
     #: CPU cost charged per skip-list comparison and per operation.
     cpu_per_step_s: float = 200e-9
     cpu_per_op_s: float = 2e-6
+    #: byte budget for the record read cache; ``None``/``0`` disables it
+    #: (the paper's configuration — every read is one positioned SSD
+    #: access — and what keeps the reproduced figures unchanged).
+    read_cache_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.segment_bytes <= 0:
@@ -81,6 +86,8 @@ class QinDBConfig:
             raise ConfigError("checkpoint_interval_bytes must be positive")
         if self.cpu_per_step_s < 0 or self.cpu_per_op_s < 0:
             raise ConfigError("CPU costs must be >= 0")
+        if self.read_cache_bytes is not None and self.read_cache_bytes < 0:
+            raise ConfigError("read_cache_bytes must be >= 0")
 
 
 @dataclass
@@ -101,6 +108,18 @@ class QinDBStats:
     device_total_bytes_read: int
     hardware_write_amplification: float
     now: float
+    # Record read cache (all zero while the cache is disabled).
+    read_cache_hits: int = 0
+    read_cache_misses: int = 0
+    read_cache_evictions: int = 0
+    read_cache_invalidated: int = 0
+    read_cache_used_bytes: int = 0
+
+    @property
+    def read_cache_hit_rate(self) -> float:
+        """Hit share of all cache lookups (0.0 when the cache is off)."""
+        lookups = self.read_cache_hits + self.read_cache_misses
+        return self.read_cache_hits / lookups if lookups else 0.0
 
     @property
     def software_write_amplification(self) -> float:
@@ -134,6 +153,11 @@ class QinDB:
         )
         self.memtable = Memtable(seed=self.config.memtable_seed)
         self.gc_table = GCTable(threshold=self.config.gc_occupancy_threshold)
+        self.read_cache: Optional[RecordCache] = (
+            RecordCache(self.config.read_cache_bytes)
+            if self.config.read_cache_bytes
+            else None
+        )
         self.user_bytes_written = 0
         self.user_bytes_read = 0
         self.gc_runs = 0
@@ -193,9 +217,15 @@ class QinDB:
     def get(self, key: bytes, version: int) -> bytes:
         """Fetch the value of ``(key, version)``, tracebacking through
         deduplicated versions; raises :class:`KeyNotFoundError` if the
-        item is absent or deleted, or if the dedup chain is broken."""
+        item is absent or deleted, or if the dedup chain is broken.
+
+        Single descent: :meth:`Memtable.resolve` finds the item *and*
+        its traceback target in one skip-list search plus neighbour
+        hops, so a deduplicated read no longer pays a fresh O(log n)
+        search per chain hop.
+        """
         self._check_open()
-        item = self.memtable.get(key, version)
+        item, older = self.memtable.resolve(key, version)
         self._charge_cpu()
         if item is None or item.deleted:
             raise KeyNotFoundError(f"no live item for {key!r}/{version}")
@@ -203,8 +233,12 @@ class QinDB:
         try:
             if item.has_value:
                 value = self._read_value(item.location)
+            elif older is not None:
+                value = self._read_value(older.location)
             else:
-                value = self._traceback(key, version)
+                raise KeyNotFoundError(
+                    f"dedup chain for {key!r}/{version} reaches no stored value"
+                )
             self.user_bytes_read += len(key) + len(value)
             return value
         finally:
@@ -231,6 +265,9 @@ class QinDB:
         self.gc_table.record_appended(location.segment_id, location.length)
         self.gc_table.record_dead(location.segment_id, location.length)
         self._maybe_gc()
+        # Tombstones append bytes too: a delete-heavy phase must hit the
+        # periodic checkpoint the same way a put-heavy one does.
+        self._maybe_checkpoint()
 
     def exists(self, key: bytes, version: int) -> bool:
         """Whether a live (non-deleted) item exists for (key, version)."""
@@ -246,19 +283,44 @@ class QinDB:
 
         This is the range-query capability hash-indexed stores lack (the
         paper's motivation for a *sorted* memtable).
+
+        The generator holds a read-in-flight slot while it is being
+        consumed, so the lazy GC's deferral rule sees an active scan the
+        same way it sees an active get — without it, a concurrent put
+        could trigger a collection that erases a segment the scan's
+        pending items still point at.
         """
         self._check_open()
-        for key, version, item in self.memtable.scan(start_key, end_key):
-            if item.deleted:
-                continue
-            if item.has_value:
-                yield key, version, self._read_value(item.location)
-            else:
-                yield key, version, self._traceback(key, version)
+        self.reads_in_flight += 1
+        try:
+            for key, version, item in self.memtable.scan(start_key, end_key):
+                if item.deleted:
+                    continue
+                if item.has_value:
+                    yield key, version, self._read_value(item.location)
+                else:
+                    yield key, version, self._traceback(key, version)
+        finally:
+            self.reads_in_flight -= 1
 
     # ------------------------------------------------------------------
     def _read_value(self, location: RecordLocation) -> bytes:
+        """Fetch a record's value: cache first, then the positioned read.
+
+        A hit charges CPU only — no device I/O; a miss pays the device
+        access and populates the cache, so a dedup chain's shared base
+        record is cached once under its own location for every version
+        that resolves to it.
+        """
+        cache = self.read_cache
+        if cache is not None:
+            value = cache.get(location)
+            if value is not None:
+                self.device.advance(self.config.cpu_per_op_s)
+                return value
         record = self.aofs.read(location)
+        if cache is not None and record.value is not None:
+            cache.put(location, record.value)
         return record.value
 
     def _traceback(self, key: bytes, version: int) -> bytes:
@@ -266,15 +328,17 @@ class QinDB:
 
         Older versions are consulted regardless of their ``d`` flag — a
         deleted record's value remains usable until GC reclaims it, which
-        is exactly why GC must re-append referenced dead records.
+        is exactly why GC must re-append referenced dead records.  One
+        skip-list descent resolves the whole chain (see
+        :meth:`Memtable.resolve`).
         """
-        for older_version, item in self.memtable.older_versions(key, version):
-            self._charge_cpu()
-            if item.has_value:
-                return self._read_value(item.location)
-        raise KeyNotFoundError(
-            f"dedup chain for {key!r}/{version} reaches no stored value"
-        )
+        _item, older = self.memtable.resolve(key, version)
+        self._charge_cpu()
+        if older is None:
+            raise KeyNotFoundError(
+                f"dedup chain for {key!r}/{version} reaches no stored value"
+            )
+        return self._read_value(older.location)
 
     def _next_sequence(self) -> int:
         self._sequence += 1
@@ -356,6 +420,12 @@ class QinDB:
         self._check_open()
         if segment_id == self.aofs.active_segment_id:
             raise StorageError("cannot collect the active segment")
+        if self.read_cache is not None:
+            # Surviving records move to new locations and the segment's
+            # blocks are erased; cached values keyed into it must die
+            # before the erase or a later lookup could serve bytes the
+            # device no longer holds.
+            self.read_cache.invalidate_segment(segment_id)
         segment = self.aofs.segment(segment_id)
         for offset, record in segment.scan():
             location = RecordLocation(segment_id, offset, record.encoded_size)
@@ -420,7 +490,18 @@ class QinDB:
     def stats(self) -> QinDBStats:
         """Snapshot every counter the experiments plot."""
         counters = self.device.counters
+        cache = self.read_cache
+        cache_counters = cache.counters if cache is not None else None
         return QinDBStats(
+            read_cache_hits=cache_counters.hits if cache_counters else 0,
+            read_cache_misses=cache_counters.misses if cache_counters else 0,
+            read_cache_evictions=(
+                cache_counters.evictions if cache_counters else 0
+            ),
+            read_cache_invalidated=(
+                cache_counters.invalidated if cache_counters else 0
+            ),
+            read_cache_used_bytes=cache.used_bytes if cache else 0,
             user_bytes_written=self.user_bytes_written,
             user_bytes_read=self.user_bytes_read,
             aof_bytes_appended=self.aofs.bytes_appended,

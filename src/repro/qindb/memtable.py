@@ -92,6 +92,43 @@ class Memtable:
         self._items.remove((key, version))
         self.approximate_bytes -= len(key) + 8 + 40
 
+    def resolve(
+        self, key: bytes, version: int
+    ) -> Tuple[Optional[IndexItem], Optional[IndexItem]]:
+        """Single-descent read path: the item *and* its traceback target.
+
+        One skip-list search descends to the start of ``key``'s version
+        chain (the 1-tuple ``(key,)`` sorts before every ``(key, v)``,
+        so it reaches the chain regardless of the smallest stored
+        version), then level-0 neighbour hops walk the chain in
+        ascending version order.  Along the way the newest value-bearing
+        item below ``version`` is remembered — exactly the record GET's
+        traceback would resolve a deduplicated item to (the ``d`` flag
+        is ignored, per the paper's referent rule).
+
+        Returns ``(item, older)``: the item at ``(key, version)`` or
+        None, and the nearest older value-bearing item or None.  The
+        walk hops are charged into :attr:`last_search_steps` so the CPU
+        cost model sees one search plus the hops — not one fresh
+        O(log n) search per hop as the old per-hop traceback paid.
+        """
+        target: Optional[IndexItem] = None
+        older: Optional[IndexItem] = None
+        hops = 0
+        for (item_key, item_version), item in self._items.items_from(
+            (key,), inclusive=True
+        ):
+            if item_key != key or item_version > version:
+                break
+            if item_version == version:
+                target = item
+                break  # every older version was already walked
+            if item.has_value:
+                older = item
+            hops += 1
+        self._items.charge_steps(hops)
+        return target, older
+
     # ------------------------------------------------------------------
     # Neighbourhood walks
     # ------------------------------------------------------------------

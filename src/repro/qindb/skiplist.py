@@ -67,6 +67,15 @@ class SkipListMap:
         self.last_search_steps = steps + self._level
         return update
 
+    def charge_steps(self, steps: int) -> None:
+        """Add neighbour-walk hops to :attr:`last_search_steps`.
+
+        Callers that descend once and then walk level-0 neighbours (the
+        single-descent traceback) account the hops here so the cost model
+        sees descent + walk as one search.
+        """
+        self.last_search_steps += steps
+
     def _find(self, key: Any) -> Optional[_Node]:
         node = self._find_predecessors(key)[0].forward[0]
         if node is not None and node.key == key:

@@ -160,6 +160,80 @@ def test_group_membership_changes():
         group.remove_node("n2")
 
 
+def test_group_read_balances_hot_key_across_replicas():
+    """N reads of one hot key spread over the replica set: least-loaded
+    selection keeps any single node from serving more than ~half."""
+    group = make_group()
+    group.put(b"hot", 1, b"v" * 2048)
+    reads = 90
+    for _ in range(reads):
+        assert group.get(b"hot", 1) == b"v" * 2048
+    counts = [node.gets for node in group.replicas_for(b"hot")]
+    assert sum(counts) == reads
+    assert max(counts) <= reads // 2  # no node absorbs the group's load
+    assert min(counts) > 0  # every healthy replica participates
+
+
+def test_group_read_order_prefers_least_loaded_live_replica():
+    group = make_group()
+    group.put(b"k", 1, b"v")
+    order = group.read_order(b"k")
+    assert {node.name for node in order} == {
+        node.name for node in group.replicas_for(b"k")
+    }
+    # Busy the front-runner; it must drop behind the idle replicas.
+    order[0].engine.device.advance(10.0)
+    assert group.read_order(b"k")[0] is not order[0]
+    # A down replica sorts last regardless of its clock.
+    idle = group.read_order(b"k")[0]
+    idle.fail()
+    assert group.read_order(b"k")[-1] is idle
+
+
+def test_group_balanced_read_failover_semantics_unchanged():
+    group = make_group()
+    group.put(b"k", 1, b"v")
+    replicas = group.replicas_for(b"k")
+    replicas[0].fail()
+    for _ in range(10):
+        assert group.get(b"k", 1) == b"v"
+    assert replicas[0].gets == 0
+    assert all(node.gets > 0 for node in replicas[1:])
+    # A key absent on every live replica still raises KeyNotFoundError.
+    from repro.errors import KeyNotFoundError
+
+    with pytest.raises(KeyNotFoundError):
+        group.get(b"absent", 1)
+    # ...and all replicas down still raises ReplicationError.
+    for node in replicas:
+        node.fail()
+    with pytest.raises(ReplicationError):
+        group.get(b"k", 1)
+
+
+def test_group_read_falls_through_replica_missing_the_key():
+    """A replica that is up but lost the key (unrepaired crash) keeps
+    being masked by the fan-out even when it sorts least-loaded."""
+    group = make_group()
+    replicas = group.replicas_for(b"k")
+    for node in replicas[1:]:
+        node.engine.put(b"k", 1, b"v")
+    for _ in range(6):
+        assert group.get(b"k", 1) == b"v"
+
+
+def test_cluster_stats_expose_per_node_read_counts():
+    cluster = MintCluster("dc1", MintConfig(group_count=1, nodes_per_group=3))
+    cluster.put(b"hot", 1, b"v")
+    for _ in range(30):
+        cluster.get(b"hot", 1)
+    stats = cluster.stats()
+    per_node = stats["gets_per_node"]
+    assert set(per_node) == {node.name for node in cluster.all_nodes}
+    assert sum(per_node.values()) == stats["gets"] == 30
+    assert max(per_node.values()) <= 15  # balanced, not pinned
+
+
 def test_group_delete_reaches_live_replicas():
     group = make_group()
     group.put(b"k", 1, b"v")

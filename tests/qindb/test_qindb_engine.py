@@ -188,6 +188,64 @@ def test_interleaved_keys_do_not_cross_traceback(qindb):
         qindb.get(b"aab", 2)  # must NOT resolve to aaa's value
 
 
+def test_scan_holds_a_read_in_flight_slot(qindb):
+    for index in range(4):
+        qindb.put(f"k{index}".encode(), 1, b"v")
+    iterator = qindb.scan(b"k0", b"k9")
+    assert qindb.reads_in_flight == 0  # generators start lazily
+    next(iterator)
+    assert qindb.reads_in_flight == 1
+    iterator.close()
+    assert qindb.reads_in_flight == 0
+    list(qindb.scan(b"k0", b"k9"))  # exhaustion also releases the slot
+    assert qindb.reads_in_flight == 0
+
+
+def test_open_scan_defers_gc_from_concurrent_puts():
+    """The lazy-GC deferral rule must see an in-flight scan: a put that
+    lands mid-scan cannot collect a segment the scan's captured items
+    still point at (free space permitting)."""
+    from repro.qindb.engine import QinDB, QinDBConfig
+
+    engine = QinDB.with_capacity(
+        16 * 1024 * 1024, config=QinDBConfig(segment_bytes=256 * 1024)
+    )
+    engine.put(b"stable", 1, b"s" * 1024)
+    iterator = engine.scan(b"a", b"z")
+    next(iterator)
+    # Churn: every put kills its predecessor, sealing dead segments.
+    for _ in range(40):
+        engine.put(b"churn", 1, b"x" * 32768)
+    assert engine.gc_runs == 0  # deferred while the scan is open
+    iterator.close()
+    engine.put(b"churn", 1, b"x" * 32768)
+    assert engine.gc_runs >= 1  # collection resumed once the scan ended
+
+
+def test_delete_heavy_phase_still_checkpoints():
+    """Deletes append tombstone bytes; a delete-only phase must cross
+    the periodic-checkpoint watermark just as a put phase does."""
+    from repro.qindb.engine import QinDB, QinDBConfig
+
+    engine = QinDB.with_capacity(
+        16 * 1024 * 1024,
+        config=QinDBConfig(
+            segment_bytes=256 * 1024,
+            checkpoint_interval_bytes=4096,
+            gc_enabled=False,
+        ),
+    )
+    keys = [b"k" * 100 + f"{index:04d}".encode() for index in range(100)]
+    for key in keys:
+        engine.put(key, 1, b"v" * 16)
+    checkpoint_after_puts = engine.latest_checkpoint
+    assert checkpoint_after_puts is not None
+    for key in keys:
+        engine.delete(key, 1)
+    assert engine.latest_checkpoint is not None
+    assert engine.latest_checkpoint is not checkpoint_after_puts
+
+
 def test_stats_on_empty_engine(qindb):
     stats = qindb.stats()
     assert stats.user_bytes_written == 0
