@@ -1,0 +1,127 @@
+"""Ablation A9 — batched ingestion: slice-in, batch-out.
+
+The update pipeline delivers whole slices, but how the storage layer
+*applies* a slice is a free choice: one put per key per replica (the
+pre-batching behavior) up to the whole slice as one engine batch per
+node.  This bench sweeps the apply-batch size {1, 16, 256, whole-slice}
+over an identical delivery workload and reports ingest throughput
+(keys/s of simulated device time), the device program commands actually
+issued, and the storage-side update-time delta against batch-of-1.
+
+The batched path is a *performance* path only: every configuration must
+deliver byte-identical contents (the equivalence tests in
+``tests/qindb/test_put_batch.py`` pin the engine-level invariants; here
+the same must hold fleet-wide through Mint's partition/replica fan-out).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.indexing.types import IndexKind
+from repro.mint.cluster import MintCluster, MintConfig, storage_key
+from repro.workloads.kvtrace import make_value
+
+KEYS = 1200
+VALUE_BYTES = 2048
+#: every fourth key arrives value-less (deduplicated upstream)
+DEDUP_STRIDE = 4
+
+SWEEP = [("1", 1), ("16", 16), ("256", 256), ("slice", None)]
+
+
+def _items(keys: int = KEYS, value_bytes: int = VALUE_BYTES):
+    """The delivered slice: versioned storage triples, mixed kinds."""
+    items = []
+    for index in range(keys):
+        kind = list(IndexKind)[index % len(IndexKind)]
+        key = storage_key(kind, f"doc-{index:05d}".encode())
+        value = make_value(key, 1, value_bytes)
+        items.append((key, 1, value))
+    for index in range(0, keys, DEDUP_STRIDE):
+        items.append((items[index][0], 2, None))
+    return items
+
+
+def _ingest(items, batch_size):
+    """Apply ``items`` in batches of ``batch_size`` (None = whole slice)."""
+    cluster = MintCluster(
+        "dc-bench",
+        MintConfig(
+            group_count=2, nodes_per_group=3, node_capacity_bytes=96 * 1024 * 1024
+        ),
+    )
+    size = len(items) if batch_size is None else batch_size
+    for start in range(0, len(items), size):
+        cluster.put_batch(items[start : start + size])
+    # Nodes simulate independent devices; the slice is applied when the
+    # slowest node finishes, so ingest time is the max clock advance.
+    update_time_s = max(
+        node.engine.device.now for node in cluster.all_nodes
+    )
+    stats = cluster.stats()
+    contents = {
+        (key, version): cluster.get(key, version)
+        for key, version, _value in items
+    }
+    return {
+        "update_time_s": update_time_s,
+        "keys_per_s": len(items) / update_time_s,
+        "device_write_ops": stats["device_write_ops"],
+        "put_batches": stats["put_batches"],
+        "contents": contents,
+    }
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    items = _items()
+    return {label: _ingest(items, size) for label, size in SWEEP}
+
+
+def test_ablation_batched_ingest_sweep(sweep_results, benchmark):
+    base = sweep_results["1"]
+    print("\n=== Ablation A9: batched ingestion, apply-batch size sweep ===")
+    print(
+        render_table(
+            ["batch", "keys/s", "device write ops", "update time (ms)", "delta vs 1"],
+            [
+                [
+                    label,
+                    f"{data['keys_per_s']:.0f}",
+                    data["device_write_ops"],
+                    f"{data['update_time_s'] * 1e3:.2f}",
+                    f"{(data['update_time_s'] - base['update_time_s']) * 1e3:+.2f} ms",
+                ]
+                for label, data in sweep_results.items()
+            ],
+        )
+    )
+
+    # Every configuration delivers byte-identical contents.
+    for label, data in sweep_results.items():
+        assert data["contents"] == base["contents"], label
+
+    # Whole-slice application is at least as fast as put-at-a-time and
+    # issues strictly fewer device program commands for the same pages.
+    whole = sweep_results["slice"]
+    assert whole["keys_per_s"] >= base["keys_per_s"]
+    assert whole["device_write_ops"] < base["device_write_ops"]
+    assert whole["update_time_s"] <= base["update_time_s"]
+
+    # Coalescing is monotone in batch size across the sweep.
+    ops = [sweep_results[label]["device_write_ops"] for label, _size in SWEEP]
+    assert ops == sorted(ops, reverse=True)
+
+    benchmark(lambda: base["update_time_s"] / whole["update_time_s"])
+
+
+def test_smoke_batched_ingest_equivalence():
+    """The CI smoke case: tiny workload, same claims, seconds to run."""
+    items = _items(keys=120, value_bytes=512)
+    single = _ingest(items, 1)
+    whole = _ingest(items, None)
+    assert whole["contents"] == single["contents"]
+    assert whole["device_write_ops"] < single["device_write_ops"]
+    assert whole["update_time_s"] <= single["update_time_s"]

@@ -25,6 +25,8 @@ class DedupResult:
     deduplicated_entries: int
     bytes_before: int
     bytes_after: int
+    #: entries whose build-time signature spared a re-hash of the value
+    hashes_avoided: int = 0
 
     @property
     def dedup_ratio(self) -> float:
@@ -50,6 +52,8 @@ class Deduplicator:
 
     def __init__(self) -> None:
         self._signatures: Dict[Tuple[IndexKind, bytes], bytes] = {}
+        #: lifetime count of re-hashes the build-time signatures spared
+        self.hashes_avoided = 0
 
     @property
     def tracked_keys(self) -> int:
@@ -61,12 +65,17 @@ class Deduplicator:
         Updates the signature store to the current version as it goes, so
         calling ``process`` version after version compares each version
         against its immediate predecessor.
+
+        An entry carrying a build-time signature (the index pipeline
+        computes one per value) is compared without re-hashing its value;
+        only signature-less entries pay :func:`signature` here.
         """
         output = IndexDataset(version=dataset.version)
         total = 0
         deduplicated = 0
         bytes_before = 0
         bytes_after = 0
+        hashes_avoided = 0
         for kind in IndexKind:
             for entry in dataset.of_kind(kind):
                 if entry.value is None:
@@ -77,7 +86,11 @@ class Deduplicator:
                 total += 1
                 bytes_before += entry.wire_bytes
                 store_key = (kind, entry.key)
-                current_signature = signature(entry.value)
+                if entry.signature is not None:
+                    current_signature = entry.signature
+                    hashes_avoided += 1
+                else:
+                    current_signature = signature(entry.value)
                 if self._signatures.get(store_key) == current_signature:
                     stripped = entry.deduplicated()
                     output.add(stripped)
@@ -87,10 +100,12 @@ class Deduplicator:
                     output.add(entry)
                     bytes_after += entry.wire_bytes
                 self._signatures[store_key] = current_signature
+        self.hashes_avoided += hashes_avoided
         return DedupResult(
             dataset=output,
             total_entries=total,
             deduplicated_entries=deduplicated,
             bytes_before=bytes_before,
             bytes_after=bytes_after,
+            hashes_avoided=hashes_avoided,
         )

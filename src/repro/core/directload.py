@@ -255,7 +255,15 @@ class DirectLoad:
         return False, inconsistency
 
     def _sample_gray_latency(self, version: int, samples: int = 32) -> float:
-        """p99 of real engine reads at the gray DC for the new version."""
+        """p99 of real engine reads at the gray DC for the new version.
+
+        Samples go through :meth:`NodeGroup.get` — the same least-loaded
+        balanced read path production queries take — rather than pinning
+        the rendezvous-top replica, so the p99 both *exercises* the
+        balancing and doesn't skew one node's device clock with all the
+        probe traffic.  The served latency is the probe's delta on
+        whichever replica's clock advanced.
+        """
         cluster = self.clusters[self.config.gray_dc]
         keys = cluster.version_keys.get(version, [])
         if not keys:
@@ -264,13 +272,17 @@ class DirectLoad:
         latencies = []
         for key in keys[::step][:samples]:
             group = cluster.group_for(key)
-            node = group.replicas_for(key)[0]
-            before = node.engine.device.now
+            before = {node.name: node.engine.device.now for node in group.nodes}
             try:
-                node.get(key, version)
+                group.get(key, version)
             except ReproError:
                 continue
-            latencies.append(node.engine.device.now - before)
+            latencies.append(
+                max(
+                    node.engine.device.now - before[node.name]
+                    for node in group.nodes
+                )
+            )
         if not latencies:
             return 0.0
         latencies.sort()

@@ -8,7 +8,10 @@
   per-interval deltas (how the paper's firmware counters become curves);
 * :class:`CacheCounters` — hit/miss/eviction/invalidation accounting
   shared by the read-side caches (LSM block cache idiom, QinDB record
-  cache), so ablations report hit rates the same way everywhere.
+  cache), so ablations report hit rates the same way everywhere;
+* :class:`BatchCounters` — write-batch accounting (batches issued, keys
+  they carried) shared by the batched ingest path, so the A9 ablation
+  reports realized batch sizes the same way at every layer.
 """
 
 from __future__ import annotations
@@ -130,6 +133,32 @@ class CacheCounters:
             "evictions": self.evictions,
             "invalidated": self.invalidated,
             "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class BatchCounters:
+    """Write-batch tallies for one engine instance.
+
+    ``batches`` counts :meth:`put_batch` calls, ``batched_puts`` the keys
+    they carried; ``batched_puts / batches`` is the realized batch size.
+    Kept separate from the per-key put counters so batch/single
+    equivalence can be asserted on everything *except* these.
+    """
+
+    batches: int = 0
+    batched_puts: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_puts / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat counter view for table/report aggregation."""
+        return {
+            "batches": self.batches,
+            "batched_puts": self.batched_puts,
+            "mean_batch_size": self.mean_batch_size,
         }
 
 

@@ -17,6 +17,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Set
 
+from repro.bifrost.signature import signature
 from repro.errors import ConfigError
 from repro.indexing.corpus import SyntheticWebCorpus
 from repro.indexing.crawler import Crawler
@@ -80,11 +81,13 @@ class ForwardIndexBuilder:
         entries = []
         for document in documents:
             payload = " ".join(document.terms).encode()
+            value = _expanded(document.terms, self.value_bytes, payload)
             entries.append(
                 IndexEntry(
                     IndexKind.FORWARD,
                     document.url.encode(),
-                    _expanded(document.terms, self.value_bytes, payload),
+                    value,
+                    signature=signature(value),
                 )
             )
         return entries
@@ -100,11 +103,13 @@ class SummaryIndexBuilder:
         entries = []
         for document in documents:
             payload = document.abstract.encode()
+            value = _expanded(document.terms, self.value_bytes, payload)
             entries.append(
                 IndexEntry(
                     IndexKind.SUMMARY,
                     document.url.encode(),
-                    _expanded(document.terms, self.value_bytes, payload),
+                    value,
+                    signature=signature(value),
                 )
             )
         return entries
@@ -146,7 +151,12 @@ class InvertedIndexBuilder:
         entries = []
         for term in sorted(self._postings):
             urls = "\n".join(sorted(self._postings[term])).encode()
-            entries.append(IndexEntry(IndexKind.INVERTED, term.encode(), urls))
+            entries.append(
+                IndexEntry(
+                    IndexKind.INVERTED, term.encode(), urls,
+                    signature=signature(urls),
+                )
+            )
         return entries
 
     @property

@@ -49,11 +49,17 @@ class IndexEntry:
 
     ``value`` may be ``None`` after deduplication — the key survives so
     the destination store can traceback to the previous version.
+
+    ``signature`` is the value's content signature, computed once at
+    build time so the deduplicator doesn't re-hash unchanged values
+    every cycle; it is excluded from equality (two entries with the same
+    value are the same entry whether or not a signature rode along).
     """
 
     kind: IndexKind
     key: bytes
     value: bytes | None
+    signature: bytes | None = field(default=None, compare=False, repr=False)
 
     @property
     def key_bytes(self) -> int:

@@ -98,6 +98,46 @@ class NodeGroup:
             )
         return written
 
+    def put_batch(self, items) -> int:
+        """Write a batch of ``(key, version, value)`` triples, one engine
+        batch per node; returns the total replica writes performed.
+
+        The batch partitions by replica set: every node receives the
+        sub-batch of items it replicates, in input order, as a single
+        :meth:`StorageNode.put_batch` call — so a slice's worth of keys
+        costs each engine one batched pass instead of one put per key
+        per replica.  A down node drops its whole sub-batch (the update
+        pipeline repairs it on recovery, as with single puts); an item no
+        live replica accepted raises :class:`ReplicationError`, matching
+        :meth:`put`.
+        """
+        if not items:
+            return 0
+        per_node: Dict[str, List] = {}
+        per_node_indices: Dict[str, List[int]] = {}
+        for index, item in enumerate(items):
+            for node in self.replicas_for(item[0]):
+                per_node.setdefault(node.name, []).append(item)
+                per_node_indices.setdefault(node.name, []).append(index)
+        written_per_item = [0] * len(items)
+        for node in self.nodes:
+            sub_batch = per_node.get(node.name)
+            if not sub_batch:
+                continue
+            try:
+                node.put_batch(sub_batch)
+            except NodeDownError:
+                continue
+            for index in per_node_indices[node.name]:
+                written_per_item[index] += 1
+        for index, written in enumerate(written_per_item):
+            if written == 0:
+                raise ReplicationError(
+                    f"no live replica for key {items[index][0]!r} in "
+                    f"group {self.group_id}"
+                )
+        return sum(written_per_item)
+
     def read_order(self, key: bytes) -> List[StorageNode]:
         """The key's replicas, least-loaded first.
 

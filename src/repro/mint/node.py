@@ -43,6 +43,23 @@ class StorageNode:
         self.engine.put(key, version, value)
         self.puts += 1
 
+    def put_batch(self, items) -> None:
+        """Store a batch of ``(key, version, value)`` triples.
+
+        QinDB takes the whole batch in one engine call (coalesced
+        appends, fingered memtable insertion); engines without a batch
+        path (the LSM baseline) fall back to per-key puts — the batch
+        API stays uniform either way.
+        """
+        self._check_up()
+        engine_batch = getattr(self.engine, "put_batch", None)
+        if engine_batch is not None:
+            engine_batch(items)
+        else:
+            for key, version, value in items:
+                self.engine.put(key, version, value)
+        self.puts += len(items)
+
     def get(self, key: bytes, version: int) -> bytes:
         self._check_up()
         self.gets += 1

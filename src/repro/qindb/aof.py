@@ -70,6 +70,35 @@ class AofSegment:
         self.record_count += 1
         return RecordLocation(self.segment_id, offset, len(encoded))
 
+    def append_batch(self, records: List[Record]) -> List[RecordLocation]:
+        """Append as many of ``records`` as fit, back-to-back.
+
+        Admission mirrors the one-at-a-time path exactly: a record is
+        accepted while the segment is not yet full, so the split point
+        across segments is the same the sequential path would choose.
+        The accepted records' encodings go to the unit in one
+        :meth:`~repro.ssd.native.NativeUnit.append_many` call so the
+        device layer can coalesce their full pages into multi-page
+        programs.  Returns the accepted records' locations (a prefix of
+        ``records``; the caller rolls the remainder into a new segment).
+        """
+        if self.is_full:
+            raise StorageError(f"segment {self.segment_id} is full")
+        encoded: List[bytes] = []
+        size = self.size
+        for record in records:
+            if size >= self.capacity_bytes:
+                break
+            data = encode_record(record)
+            encoded.append(data)
+            size += len(data)
+        offsets = self._unit.append_many(encoded)
+        self.record_count += len(encoded)
+        return [
+            RecordLocation(self.segment_id, offset, len(data))
+            for offset, data in zip(offsets, encoded)
+        ]
+
     def read(self, location: RecordLocation) -> Record:
         """Read and decode the record at ``location``."""
         if location.segment_id != self.segment_id:
@@ -138,6 +167,10 @@ class _FileUnit:
 
     def append(self, data: bytes) -> int:
         return self._file.append(data)
+
+    def append_many(self, chunks) -> list:
+        """No native coalescing through the FTL: one append per chunk."""
+        return [self._file.append(chunk) for chunk in chunks]
 
     def read(self, offset: int, length: int) -> bytes:
         return self._file.read(offset, length)
@@ -227,6 +260,26 @@ class AofManager:
         location = segment.append(record)
         self.bytes_appended += location.length
         return location
+
+    def append_batch(self, records: List[Record]) -> List[RecordLocation]:
+        """Append ``records`` back-to-back, rolling segments as they fill.
+
+        Records land in input order; within one segment their full pages
+        coalesce into multi-page device programs.  Segment split points
+        match what sequential :meth:`append` calls would produce.
+        """
+        locations: List[RecordLocation] = []
+        index = 0
+        while index < len(records):
+            segment = self._active
+            if segment is None or segment.is_full:
+                segment = self._open_segment()
+            accepted = segment.append_batch(records[index:])
+            for location in accepted:
+                self.bytes_appended += location.length
+            locations.extend(accepted)
+            index += len(accepted)
+        return locations
 
     def read(self, location: RecordLocation) -> Record:
         """Read the record at ``location`` from whichever segment owns it."""

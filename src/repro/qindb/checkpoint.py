@@ -34,6 +34,7 @@ import struct
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.core.metrics import BatchCounters
 from repro.errors import CorruptionError
 from repro.qindb.aof import AofManager, RecordLocation
 from repro.qindb.engine import QinDB, QinDBConfig
@@ -179,6 +180,7 @@ def recover(
     engine.user_bytes_read = 0
     engine.gc_runs = 0
     engine.gc_bytes_reappended = 0
+    engine.batch_counters = BatchCounters()
     engine.reads_in_flight = 0
     engine._gc_since_checkpoint = False
     engine._closed = False

@@ -76,6 +76,38 @@ class Memtable:
             self.approximate_bytes += len(key) + 8 + 40
         return previous
 
+    def put_batch(
+        self,
+        entries: list,
+    ) -> list:
+        """Insert a pre-sorted batch of items in one fingered pass.
+
+        ``entries`` is a list of ``(key, version, location, deduplicated,
+        sequence)`` tuples sorted by ``(key, version)`` (stable, so a
+        duplicated pair applies in input order — last writer wins, same
+        as sequential puts).  Returns the replaced previous
+        :class:`IndexItem` (or None) per entry, in the same order.
+        """
+        pairs = [
+            (
+                (key, version),
+                IndexItem(
+                    location=location,
+                    deduplicated=deduplicated,
+                    sequence=sequence,
+                ),
+            )
+            for key, version, location, deduplicated, sequence in entries
+        ]
+        previous: list = []
+        for (item_key, _item), (was_new, replaced) in zip(
+            pairs, self._items.insert_batch(pairs)
+        ):
+            if was_new:
+                self.approximate_bytes += len(item_key[0]) + 8 + 40
+            previous.append(replaced)
+        return previous
+
     def get(self, key: bytes, version: int) -> Optional[IndexItem]:
         """The item for (key, version), or None."""
         return self._items.get((key, version), default=None)

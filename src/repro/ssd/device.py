@@ -151,11 +151,13 @@ class SimulatedSSD:
         if source == "host":
             if write:
                 self.counters.host_pages_written += npages
+                self.counters.host_write_ops += 1 if npages else 0
             else:
                 self.counters.host_pages_read += npages
         elif source == "gc":
             if write:
                 self.counters.gc_pages_written += npages
+                self.counters.gc_write_ops += 1 if npages else 0
             else:
                 self.counters.gc_pages_read += npages
         else:

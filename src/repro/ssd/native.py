@@ -89,6 +89,38 @@ class NativeUnit:
             self._program_page(bytes(page))
         return offset
 
+    def append_many(self, chunks: List[bytes]) -> List[int]:
+        """Append ``chunks`` back-to-back; returns each chunk's offset.
+
+        The batched write path: all chunks land in the fill buffer first,
+        then every run of full pages within one block is programmed with a
+        *single* multi-page command — contiguous block-aligned appends
+        coalesce into one device write instead of one per page, which is
+        where the batch's device-time saving comes from.  Byte layout and
+        pages programmed are identical to chunk-at-a-time :meth:`append`;
+        only the command count (and therefore the charged time) shrinks.
+        """
+        self._check_live()
+        offsets: List[int] = []
+        size = self.size
+        for chunk in chunks:
+            offsets.append(size)
+            size += len(chunk)
+            self._pending.extend(chunk)
+        page_size = self._device.geometry.page_size
+        per_block = self._device.geometry.pages_per_block
+        while len(self._pending) >= page_size:
+            block = self._current_block()
+            room = per_block - block.write_ptr
+            npages = min(len(self._pending) // page_size, room)
+            nbytes = npages * page_size
+            pages = bytes(self._pending[:nbytes])
+            del self._pending[:nbytes]
+            self._device.program(block.block_id, npages, source="host")
+            self._data.extend(pages)
+            self._programmed_pages += npages
+        return offsets
+
     def flush(self) -> None:
         """Pad and program any buffered partial page."""
         self._check_live()

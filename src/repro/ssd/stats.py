@@ -23,11 +23,26 @@ class DeviceCounters:
     gc_pages_read: int = 0
     blocks_erased: int = 0
     busy_time_s: float = 0.0
+    #: program *commands* issued (one multi-page program counts once);
+    #: pages/ops is the coalescing factor the batched write path buys.
+    host_write_ops: int = 0
+    gc_write_ops: int = 0
 
     @property
     def total_pages_written(self) -> int:
         """Pages physically programmed (host + device GC)."""
         return self.host_pages_written + self.gc_pages_written
+
+    @property
+    def total_write_ops(self) -> int:
+        """Program commands issued (host + device GC)."""
+        return self.host_write_ops + self.gc_write_ops
+
+    @property
+    def pages_per_write_op(self) -> float:
+        """Mean pages per program command (the coalescing factor)."""
+        ops = self.total_write_ops
+        return self.total_pages_written / ops if ops else 0.0
 
     @property
     def total_pages_read(self) -> int:
@@ -69,6 +84,8 @@ class DeviceCounters:
             gc_pages_read=self.gc_pages_read,
             blocks_erased=self.blocks_erased,
             busy_time_s=self.busy_time_s,
+            host_write_ops=self.host_write_ops,
+            gc_write_ops=self.gc_write_ops,
         )
 
     def delta(self, earlier: "DeviceCounters") -> "DeviceCounters":
@@ -81,4 +98,6 @@ class DeviceCounters:
             gc_pages_read=self.gc_pages_read - earlier.gc_pages_read,
             blocks_erased=self.blocks_erased - earlier.blocks_erased,
             busy_time_s=self.busy_time_s - earlier.busy_time_s,
+            host_write_ops=self.host_write_ops - earlier.host_write_ops,
+            gc_write_ops=self.gc_write_ops - earlier.gc_write_ops,
         )

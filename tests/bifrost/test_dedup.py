@@ -111,3 +111,58 @@ def test_property_dedup_count_matches_equality(values_v1, flip):
     result = dedup.process(dataset(2, list(zip(keys, values_v2))))
     expected = sum(1 for a, b in zip(values_v1, values_v2) if a == b)
     assert result.deduplicated_entries == expected
+
+
+# ------------------------------------------------- build-time signatures
+def signed_dataset(version, pairs, kind=IndexKind.FORWARD):
+    built = IndexDataset(version=version)
+    for key, value in pairs:
+        built.add(IndexEntry(kind, key, value, signature=signature(value)))
+    return built
+
+
+def test_build_time_signature_spares_rehash():
+    dedup = Deduplicator()
+    pairs = [(b"k1", b"same"), (b"k2", b"old")]
+    first = dedup.process(signed_dataset(1, pairs))
+    second = dedup.process(signed_dataset(2, [(b"k1", b"same"), (b"k2", b"new")]))
+    assert first.hashes_avoided == 2
+    assert second.hashes_avoided == 2
+    assert dedup.hashes_avoided == 4
+    assert second.deduplicated_entries == 1
+
+
+def test_signature_less_entries_still_deduplicate():
+    dedup = Deduplicator()
+    dedup.process(dataset(1, [(b"k", b"v")]))
+    result = dedup.process(dataset(2, [(b"k", b"v")]))
+    assert result.deduplicated_entries == 1
+    assert result.hashes_avoided == 0
+    assert dedup.hashes_avoided == 0
+
+
+def test_signed_and_unsigned_paths_agree():
+    """The carried signature is just a cache: same dedup outcome."""
+    v1 = [(b"a", b"one"), (b"b", b"two")]
+    v2 = [(b"a", b"one"), (b"b", b"changed")]
+    signed, unsigned = Deduplicator(), Deduplicator()
+    signed.process(signed_dataset(1, v1))
+    unsigned.process(dataset(1, v1))
+    signed_result = signed.process(signed_dataset(2, v2))
+    unsigned_result = unsigned.process(dataset(2, v2))
+    assert signed_result.deduplicated_entries == unsigned_result.deduplicated_entries
+    assert [e.value for e in signed_result.dataset.of_kind(IndexKind.FORWARD)] == [
+        e.value for e in unsigned_result.dataset.of_kind(IndexKind.FORWARD)
+    ]
+
+
+def test_pipeline_entries_carry_signatures():
+    """The index builders stamp every entry at build time."""
+    from repro.indexing.builders import ForwardIndexBuilder
+    from repro.indexing.types import Document, QualityTier
+
+    document = Document(
+        url="u", terms=["alpha", "beta"], tier=QualityTier.VIP, modified_round=0
+    )
+    [entry] = ForwardIndexBuilder().build([document])
+    assert entry.signature == signature(entry.value)

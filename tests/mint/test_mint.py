@@ -366,3 +366,98 @@ def test_cluster_scan_survives_node_failures():
     result = list(cluster.scan(IndexKind.FORWARD, b"u00", b"u99", version=1))
     # Every key still present: each lives on 3 replicas, 2 still up.
     assert len(result) == 20
+
+
+# ------------------------------------------------------------------ batching
+def items_for(count, prefix="bk"):
+    return [
+        (f"{prefix}-{i:03d}".encode(), 1, f"val-{i}".encode())
+        for i in range(count)
+    ]
+
+
+def test_group_put_batch_matches_per_key_puts():
+    batched = make_group(node_count=4, replicas=2)
+    sequential = make_group(node_count=4, replicas=2)
+    items = items_for(40)
+    written = batched.put_batch(items)
+    assert written == sum(sequential.put(*item) for item in items)
+    for key, version, value in items:
+        assert batched.get(key, version) == value
+    # Replica placement is unchanged: node-by-node contents agree.
+    for b_node, s_node in zip(batched.nodes, sequential.nodes):
+        assert b_node.puts == s_node.puts
+
+
+def test_group_put_batch_is_one_engine_batch_per_node():
+    group = make_group(node_count=3, replicas=3)
+    group.put_batch(items_for(30))
+    for node in group.nodes:
+        stats = node.engine.stats()
+        assert stats.put_batches == 1
+        assert stats.batched_puts == 30
+
+
+def test_group_put_batch_down_node_drops_only_its_sub_batch():
+    group = make_group(node_count=3, replicas=2)
+    group.nodes[0].fail()
+    items = items_for(30)
+    written = group.put_batch(items)
+    assert written < 2 * len(items)  # the down node wrote nothing
+    for key, version, value in items:  # every key still readable
+        assert group.get(key, version) == value
+    assert group.nodes[0].puts == 0
+
+
+def test_group_put_batch_raises_when_no_live_replica():
+    group = make_group(node_count=3, replicas=1)
+    for node in group.nodes:
+        node.fail()
+    with pytest.raises(ReplicationError):
+        group.put_batch(items_for(5))
+
+
+def test_node_put_batch_falls_back_for_engines_without_batches():
+    from repro.lsm.engine import LSMConfig, LSMEngine
+
+    node = StorageNode(
+        "lsm",
+        LSMEngine.with_capacity(
+            16 * 1024 * 1024,
+            config=LSMConfig(
+                memtable_bytes=256 * 1024, level1_max_bytes=1024 * 1024
+            ),
+        ),
+    )
+    items = items_for(10)
+    node.put_batch(items)
+    assert node.puts == 10
+    for key, version, value in items:
+        assert node.get(key, version) == value
+
+
+def test_cluster_put_batch_partitions_by_group():
+    cluster = MintCluster("dc1", MintConfig(group_count=3, nodes_per_group=3))
+    items = items_for(60)
+    written = cluster.put_batch(items)
+    assert written == 60 * cluster.config.replica_count
+    for key, version, value in items:
+        assert cluster.get(key, version) == value
+
+
+def test_ingest_slice_lands_as_engine_batches():
+    cluster = MintCluster("dc1", MintConfig(group_count=2, nodes_per_group=3))
+    entries = [
+        IndexEntry(IndexKind.FORWARD, f"doc-{i:03d}".encode(), b"v" * 50)
+        for i in range(40)
+    ]
+    piece = Slice.pack("v1-fwd-0", 1, IndexKind.FORWARD, entries)
+    stored = cluster.ingest_slice(piece)
+    assert stored == 40
+    stats = cluster.stats()
+    assert stats["batched_puts"] == 40 * cluster.config.replica_count
+    assert stats["put_batches"] >= 1
+    assert stats["puts"] == stats["batched_puts"]  # no stray single puts
+    for entry in entries:
+        skey = storage_key(entry.kind, entry.key)
+        assert cluster.get(skey, 1) == entry.value

@@ -1,0 +1,201 @@
+"""Batch/single equivalence: ``put_batch`` must store exactly what the
+same items through sequential ``put`` calls would store.
+
+The batched write path is a *performance* path: sequence numbering,
+memtable contents, GC-table accounting, stats (minus the batch counters
+and simulated time), and recovery contents must all be identical; only
+the device-command count and the clock may differ.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import StorageError
+from repro.qindb.checkpoint import crash, recover
+from repro.qindb.engine import QinDB, QinDBConfig
+
+DEVICE_BYTES = 64 * 1024 * 1024
+
+
+def make_engine(**overrides) -> QinDB:
+    config = QinDBConfig(segment_bytes=overrides.pop("segment_bytes", 1024 * 1024), **overrides)
+    return QinDB.with_capacity(DEVICE_BYTES, config=config)
+
+
+def memtable_image(engine: QinDB):
+    """Every observable fact about the memtable, in sorted order."""
+    return [
+        (key, version, item.location, item.deduplicated, item.deleted,
+         item.sequence)
+        for key, version, item in engine.memtable.items()
+    ]
+
+
+#: QinDBStats fields that must match exactly between the two paths
+#: (everything except the batch counters and time).
+EQUIVALENT_FIELDS = [
+    "user_bytes_written",
+    "user_bytes_read",
+    "aof_bytes_appended",
+    "disk_used_bytes",
+    "memtable_items",
+    "memtable_bytes",
+    "segment_count",
+    "gc_runs",
+    "gc_bytes_reappended",
+    "device_host_bytes_written",
+    "device_total_bytes_written",
+]
+
+
+def assert_equivalent(sequential: QinDB, batched: QinDB) -> None:
+    assert memtable_image(sequential) == memtable_image(batched)
+    assert sequential.gc_table.snapshot() == batched.gc_table.snapshot()
+    seq_stats, batch_stats = sequential.stats(), batched.stats()
+    for field in EQUIVALENT_FIELDS:
+        assert getattr(seq_stats, field) == getattr(batch_stats, field), field
+
+
+def mixed_items(count=400, key_space=150, seed=7):
+    """A mixed-kind batch: values, dedup markers, duplicated pairs."""
+    rng = random.Random(seed)
+    items = []
+    for index in range(count):
+        key = f"I:key-{rng.randint(0, key_space):04d}".encode()
+        version = 1 + index % 3
+        if index % 4 == 3:
+            value = None  # deduplicated upstream
+        else:
+            value = bytes([index % 251]) * rng.randint(1, 700)
+        items.append((key, version, value))
+    # Values must precede dedup markers per key so tracebacks resolve.
+    items.sort(key=lambda item: item[2] is None)
+    return items
+
+
+def test_batch_matches_sequential_mixed_kinds():
+    items = mixed_items()
+    sequential, batched = make_engine(), make_engine()
+    for key, version, value in items:
+        sequential.put(key, version, value)
+    batched.put_batch(items)
+    assert_equivalent(sequential, batched)
+    stats = batched.stats()
+    assert stats.put_batches == 1
+    assert stats.batched_puts == len(items)
+    assert stats.mean_put_batch_size == len(items)
+    assert sequential.stats().put_batches == 0
+
+
+def test_batch_matches_sequential_valueless_batch():
+    """An all-dedup (value-less) batch over an existing base version."""
+    base = [(f"k{i:03d}".encode(), 1, b"base-" + bytes([i])) for i in range(64)]
+    dedup = [(key, 2, None) for key, _version, _value in base]
+    sequential, batched = make_engine(), make_engine()
+    for key, version, value in base:
+        sequential.put(key, version, value)
+    for key, version, value in dedup:
+        sequential.put(key, version, value)
+    batched.put_batch(base)
+    batched.put_batch(dedup)
+    assert_equivalent(sequential, batched)
+    # Both paths traceback dedup reads to the same base records.
+    for key, _version, value in base:
+        assert batched.get(key, 2) == value == sequential.get(key, 2)
+
+
+def test_batch_matches_sequential_across_segment_rollover():
+    """Batches split across segments at the same points sequential
+    appends would choose."""
+    items = [
+        (f"roll-{i:04d}".encode(), 1, bytes([i % 251]) * 4000)
+        for i in range(80)
+    ]
+    sequential = make_engine(segment_bytes=256 * 1024)
+    batched = make_engine(segment_bytes=256 * 1024)
+    for key, version, value in items:
+        sequential.put(key, version, value)
+    batched.put_batch(items)
+    assert batched.stats().segment_count > 1
+    assert_equivalent(sequential, batched)
+
+
+def test_batch_duplicate_pairs_apply_last_writer_wins():
+    """A (key, version) duplicated within one batch resolves exactly as
+    two sequential puts: the later value wins, the earlier bytes die."""
+    items = [(b"dup", 1, b"first"), (b"other", 1, b"x"), (b"dup", 1, b"second")]
+    sequential, batched = make_engine(), make_engine()
+    for key, version, value in items:
+        sequential.put(key, version, value)
+    batched.put_batch(items)
+    assert_equivalent(sequential, batched)
+    assert batched.get(b"dup", 1) == b"second"
+
+
+def test_batch_recovery_contents_match_sequential():
+    """Crash both engines; the recovered stores answer identically."""
+    items = mixed_items(count=200, seed=11)
+    sequential, batched = make_engine(), make_engine()
+    for key, version, value in items:
+        sequential.put(key, version, value)
+    batched.put_batch(items)
+    sequential.flush()
+    batched.flush()
+    recovered_seq = recover(crash(sequential), config=sequential.config)
+    recovered_batch = recover(crash(batched), config=batched.config)
+    assert memtable_image(recovered_seq) == memtable_image(recovered_batch)
+    assert (
+        recovered_seq.gc_table.snapshot() == recovered_batch.gc_table.snapshot()
+    )
+    assert recovered_seq._sequence == recovered_batch._sequence
+
+
+def test_batch_coalesces_device_writes():
+    """Same pages programmed, strictly fewer program commands."""
+    items = [
+        (f"co-{i:04d}".encode(), 1, bytes([i % 251]) * 3000) for i in range(64)
+    ]
+    sequential, batched = make_engine(), make_engine()
+    for key, version, value in items:
+        sequential.put(key, version, value)
+    batched.put_batch(items)
+    seq_stats, batch_stats = sequential.stats(), batched.stats()
+    assert (
+        seq_stats.device_host_bytes_written
+        == batch_stats.device_host_bytes_written
+    )
+    assert batch_stats.device_write_ops < seq_stats.device_write_ops
+    # Fewer serial command latencies means less simulated device time.
+    assert batched.device.now < sequential.device.now
+
+
+def test_batch_validation_precedes_any_append():
+    engine = make_engine()
+    with pytest.raises(StorageError):
+        engine.put_batch([(b"good", 1, b"v"), (b"", 1, b"v")])
+    # Nothing was stored: validation runs once, before any mutation.
+    assert len(engine.memtable) == 0
+    assert engine.stats().aof_bytes_appended == 0
+
+
+def test_empty_batch_is_a_noop():
+    engine = make_engine()
+    before = engine.device.now
+    engine.put_batch([])
+    assert engine.device.now == before
+    assert engine.stats().put_batches == 0
+
+
+def test_unsorted_batch_input_is_sorted_internally():
+    """Callers need not pre-sort; the engine orders for the skip list."""
+    items = [(f"z-{i:02d}".encode(), 1, b"v") for i in range(20)]
+    shuffled = list(items)
+    random.Random(3).shuffle(shuffled)
+    sequential, batched = make_engine(), make_engine()
+    for key, version, value in shuffled:
+        sequential.put(key, version, value)
+    batched.put_batch(shuffled)
+    assert_equivalent(sequential, batched)

@@ -165,3 +165,51 @@ def test_property_floor_matches_model(keys, probe):
     assert (floor[0] if floor else None) == expected_floor
     assert (lower[0] if lower else None) == expected_lower
     assert (ceiling[0] if ceiling else None) == expected_ceiling
+
+
+# ----------------------------------------------------------------- batching
+def test_insert_batch_matches_sequential_inserts():
+    batched = SkipListMap(seed=5)
+    sequential = SkipListMap(seed=5)
+    pairs = [(key, key * 10) for key in range(0, 100, 3)]
+    results = batched.insert_batch(pairs)
+    for key, value in pairs:
+        sequential.insert(key, value)
+    assert [k for k, _v in batched] == [k for k, _v in sequential]
+    assert [v for _k, v in batched] == [v for _k, v in sequential]
+    assert all(was_new for was_new, _prev in results)
+
+
+def test_insert_batch_reports_replacements():
+    sl = SkipListMap(seed=2)
+    sl.insert(10, "old")
+    results = sl.insert_batch([(5, "a"), (10, "new"), (15, "b")])
+    assert results == [(True, None), (False, "old"), (True, None)]
+    assert sl.get(10) == "new"
+    assert len(sl) == 3
+
+
+def test_insert_batch_rejects_descending_keys():
+    sl = SkipListMap(seed=2)
+    with pytest.raises(ValueError):
+        sl.insert_batch([(5, "a"), (3, "b")])
+
+
+def test_insert_batch_allows_equal_keys_last_wins():
+    sl = SkipListMap(seed=2)
+    results = sl.insert_batch([(7, "first"), (7, "second")])
+    assert results == [(True, None), (False, "first")]
+    assert sl.get(7) == "second"
+    assert len(sl) == 1
+
+
+def test_insert_batch_interleaves_with_existing_keys():
+    """The search finger must descend correctly between existing nodes."""
+    sl = SkipListMap(seed=9)
+    for key in range(0, 200, 2):  # evens pre-exist
+        sl.insert(key, "even")
+    sl.insert_batch([(key, "odd") for key in range(1, 200, 2)])
+    assert len(sl) == 200
+    assert [k for k, _v in sl] == list(range(200))
+    assert sl.get(151) == "odd"
+    assert sl.get(150) == "even"

@@ -110,3 +110,40 @@ def test_unit_tags_are_unique_by_default(native):
     first = native.open_unit()
     second = native.open_unit()
     assert first.tag != second.tag
+
+
+def _fresh_unit():
+    geometry = SSDGeometry(block_count=16, pages_per_block=8, page_size=512)
+    native = NativeBlockInterface(SimulatedSSD(geometry))
+    return native.device, native.open_unit("aof")
+
+
+def test_append_many_matches_sequential_appends():
+    chunks = [bytes([i % 251]) * (100 + 37 * i) for i in range(20)]
+    seq_device, seq_unit = _fresh_unit()
+    many_device, many_unit = _fresh_unit()
+    seq_offsets = [seq_unit.append(chunk) for chunk in chunks]
+    many_offsets = many_unit.append_many(chunks)
+    assert many_offsets == seq_offsets
+    assert many_unit.size == seq_unit.size
+    for offset, chunk in zip(many_offsets, chunks):
+        assert many_unit.read(offset, len(chunk)) == chunk
+    # Identical pages reach the flash; fewer program commands issue them.
+    assert (
+        many_device.counters.host_pages_written
+        == seq_device.counters.host_pages_written
+    )
+    assert many_device.counters.host_write_ops < seq_device.counters.host_write_ops
+    assert many_device.now < seq_device.now
+
+
+def test_append_many_spills_across_blocks():
+    device, unit = _fresh_unit()
+    pages_per_block = device.geometry.pages_per_block
+    chunk = b"q" * 512 * (pages_per_block + 3)  # more than one block's pages
+    [offset] = unit.append_many([chunk])
+    assert offset == 0
+    assert unit.read(0, len(chunk)) == chunk
+    assert device.counters.host_pages_written == pages_per_block + 3
+    # One program per block touched, not per page.
+    assert device.counters.host_write_ops == 2
