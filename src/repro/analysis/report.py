@@ -152,12 +152,44 @@ def _dedup_rows(days: int = 8) -> List[ReportRow]:
     ]
 
 
-def generate_report(days: int = 8) -> str:
-    """Run the quick experiments and render the markdown report."""
-    sections = [
+def collect_sections(days: int = 8) -> List[tuple]:
+    """Run the quick experiments; the structured (title, rows) sections.
+
+    The single source both renderers consume: ``generate_report`` folds
+    it into markdown, ``repro report --json`` emits it as JSON.
+    """
+    return [
         ("Storage engine (Figure 5 headline)", _write_amplification_rows()),
         ("Delivery pipeline (Figures 9/10 headline)", _dedup_rows(days)),
     ]
+
+
+def sections_to_dict(sections: List[tuple]) -> dict:
+    """JSON-ready view of ``collect_sections`` output."""
+    return {
+        "sections": [
+            {
+                "title": title,
+                "rows": [
+                    {
+                        "claim": row.claim,
+                        "paper": row.paper,
+                        "measured": row.measured,
+                        "holds": row.holds,
+                    }
+                    for row in rows
+                ],
+            }
+            for title, rows in sections
+        ],
+        "all_hold": all(row.holds for _, rows in sections for row in rows),
+    }
+
+
+def generate_report(days: int = 8, sections: Optional[List[tuple]] = None) -> str:
+    """Run the quick experiments and render the markdown report."""
+    if sections is None:
+        sections = collect_sections(days)
     lines = [
         "# DirectLoad reproduction — quick report",
         "",

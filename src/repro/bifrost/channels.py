@@ -128,6 +128,33 @@ class Topology:
                 )
 
     # ------------------------------------------------------------------
+    def register_metrics(self, registry) -> None:
+        """Register every link's byte/transfer counters as live views.
+
+        Naming: ``bifrost.link.<src>-<dst>.bytes`` for a physical
+        backbone link, ``bifrost.link.<src>-<dst>.<stream>.bytes`` for
+        its reserved sub-links, and the same scheme for intra-region
+        links — the counters Bifrost's monitoring platform "keeps
+        collecting" in the paper.
+        """
+
+        def link_views(link: Link):
+            return {
+                "bytes": lambda: link.bytes_sent,
+                "transfers": lambda: link.transfer_count,
+            }
+
+        for (source, destination), link in self.backbone.items():
+            prefix = f"bifrost.link.{source}-{destination}"
+            registry.register_many(prefix, link_views(link))
+            for stream, sublink in self.streams[(source, destination)].items():
+                registry.register_many(f"{prefix}.{stream}", link_views(sublink))
+        for (region, dc), link in self.intra.items():
+            registry.register_many(
+                f"bifrost.link.{region}-{dc}", link_views(link)
+            )
+
+    # ------------------------------------------------------------------
     def all_data_centers(self) -> List[str]:
         """Every data center, region by region."""
         return [dc for region in self.regions for dc in self.data_centers[region]]

@@ -127,3 +127,21 @@ class NetworkMonitor:
             pair: estimate.utilization_ewma
             for pair, estimate in self._estimates.items()
         }
+
+    def register_metrics(self, registry) -> None:
+        """Register the per-link EWMA beliefs as live gauges.
+
+        ``bifrost.monitor.<src>-<dst>.utilization_ewma`` is the smoothed
+        utilization steering route choice; ``.samples`` counts how many
+        sampling-loop ticks have fed it.
+        """
+        for (source, destination), estimate in self._estimates.items():
+            registry.register_many(
+                f"bifrost.monitor.{source}-{destination}",
+                {
+                    "utilization_ewma": (
+                        lambda e=estimate: e.utilization_ewma
+                    ),
+                    "samples": lambda e=estimate: e.samples,
+                },
+            )

@@ -20,6 +20,7 @@ over an hour to arrive, SLO 0.6%).
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -127,12 +128,22 @@ class BifrostTransport:
         topology: Topology,
         monitor: Optional[NetworkMonitor] = None,
         config: TransportConfig | None = None,
+        tracer=None,
     ) -> None:
         self.topology = topology
         self.sim: Simulator = topology.sim
         self.config = config or TransportConfig()
         self.monitor = monitor or NetworkMonitor(topology)
+        #: optional ``obs.Tracer``; each delivery process opens spans on
+        #: its own track, so concurrent deliveries never mis-nest
+        self.tracer = tracer
         self._random = random.Random(self.config.seed)
+
+    def _span(self, name: str, track: str, **attrs):
+        """A span on ``track``, or a no-op when tracing is off."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, track=track, **attrs)
 
     # ------------------------------------------------------------------
     def deliver_version(
@@ -190,38 +201,57 @@ class BifrostTransport:
             yield sim.timeout(item.available_at - sim.now)
         generated_at = sim.now
         stream = stream_of(item.kind)
+        track = f"deliver:{region}:{item.slice_id}"
 
-        attempts = 0
-        while True:
-            if config.adaptive_routing:
-                hops = self.monitor.choose_route(region, item.size_bytes, stream)
-            else:
-                hops = [ORIGIN, region]
-            if len(hops) > 2:
-                report.detoured += 1
-            travelling = item.clean_copy()
-            try:
-                for source, destination in zip(hops, hops[1:]):
-                    sublink = self.topology.stream_link(source, destination, stream)
-                    yield sublink.transmit(travelling.size_bytes)
-                    report.bytes_sent += travelling.size_bytes
-                    if source == ORIGIN:
-                        report.origin_bytes_sent += travelling.size_bytes
-                    if self._random.random() < config.corruption_probability:
-                        travelling.corrupt()
-                    yield sim.timeout(config.relay_processing_s)
-                    travelling.verify()  # every relay hop re-checks the CRC
-                break
-            except ChecksumMismatchError:
-                attempts += 1
-                report.retransmissions += 1
-                if attempts > config.max_retransmits:
-                    report.abandoned += 1
-                    return
+        with self._span("deliver", track, slice=item.slice_id, region=region):
+            attempts = 0
+            while True:
+                if config.adaptive_routing:
+                    hops = self.monitor.choose_route(region, item.size_bytes, stream)
+                else:
+                    hops = [ORIGIN, region]
+                if len(hops) > 2:
+                    report.detoured += 1
+                travelling = item.clean_copy()
+                try:
+                    for source, destination in zip(hops, hops[1:]):
+                        with self._span(
+                            "transmit_hop",
+                            track,
+                            source=source,
+                            destination=destination,
+                            slice=item.slice_id,
+                            attempt=attempts,
+                        ):
+                            sublink = self.topology.stream_link(
+                                source, destination, stream
+                            )
+                            yield sublink.transmit(travelling.size_bytes)
+                            report.bytes_sent += travelling.size_bytes
+                            if source == ORIGIN:
+                                report.origin_bytes_sent += travelling.size_bytes
+                            if (
+                                self._random.random()
+                                < config.corruption_probability
+                            ):
+                                travelling.corrupt()
+                            yield sim.timeout(config.relay_processing_s)
+                            travelling.verify()  # every relay re-checks the CRC
+                    break
+                except ChecksumMismatchError:
+                    attempts += 1
+                    report.retransmissions += 1
+                    if attempts > config.max_retransmits:
+                        report.abandoned += 1
+                        return
 
-        yield from self._fan_out(travelling, region, generated_at, report, on_arrival)
+            yield from self._fan_out(
+                travelling, region, generated_at, report, on_arrival, track
+            )
 
-    def _fan_out(self, travelling, region, generated_at, report, on_arrival):
+    def _fan_out(
+        self, travelling, region, generated_at, report, on_arrival, track=None
+    ):
         """Relay group -> the region's data centers.
 
         The slice occupies one of the region's relay-node work slots for
@@ -231,6 +261,8 @@ class BifrostTransport:
         """
         sim = self.sim
         config = self.config
+        if track is None:
+            track = f"deliver:{region}:{travelling.slice_id}"
         slots = self.topology.relay_slots[region]
         yield slots.acquire()
         try:
@@ -239,16 +271,19 @@ class BifrostTransport:
             else:
                 targets = self.topology.data_centers[region]
             for dc in targets:
-                intra = self.topology.intra_link(region, dc)
-                yield intra.transmit(travelling.size_bytes)
-                report.bytes_sent += travelling.size_bytes
-                yield sim.timeout(config.relay_processing_s)
-                travelling.verify()
-                key = (dc, travelling.slice_id)
-                report.arrivals[key] = sim.now
-                report.generated[key] = generated_at
-                if on_arrival is not None:
-                    on_arrival(dc, travelling)
+                with self._span(
+                    "fanout", track, dc=dc, slice=travelling.slice_id
+                ):
+                    intra = self.topology.intra_link(region, dc)
+                    yield intra.transmit(travelling.size_bytes)
+                    report.bytes_sent += travelling.size_bytes
+                    yield sim.timeout(config.relay_processing_s)
+                    travelling.verify()
+                    key = (dc, travelling.slice_id)
+                    report.arrivals[key] = sim.now
+                    report.generated[key] = generated_at
+                    if on_arrival is not None:
+                        on_arrival(dc, travelling)
         finally:
             slots.release()
 
@@ -268,18 +303,27 @@ class BifrostTransport:
             yield sim.timeout(item.available_at - sim.now)
         generated_at = sim.now
         stream = stream_of(item.kind)
+        track = f"deliver:{seed_region}:{item.slice_id}"
 
         # Origin -> seed region, retrying from the origin on corruption.
         attempts = 0
         while True:
             travelling = item.clean_copy()
-            sublink = self.topology.stream_link(ORIGIN, seed_region, stream)
-            yield sublink.transmit(travelling.size_bytes)
-            report.bytes_sent += travelling.size_bytes
-            report.origin_bytes_sent += travelling.size_bytes
-            if self._random.random() < config.corruption_probability:
-                travelling.corrupt()
-            yield sim.timeout(config.relay_processing_s)
+            with self._span(
+                "transmit_hop",
+                track,
+                source=ORIGIN,
+                destination=seed_region,
+                slice=item.slice_id,
+                attempt=attempts,
+            ):
+                sublink = self.topology.stream_link(ORIGIN, seed_region, stream)
+                yield sublink.transmit(travelling.size_bytes)
+                report.bytes_sent += travelling.size_bytes
+                report.origin_bytes_sent += travelling.size_bytes
+                if self._random.random() < config.corruption_probability:
+                    travelling.corrupt()
+                yield sim.timeout(config.relay_processing_s)
             try:
                 travelling.verify()
                 break
@@ -302,7 +346,7 @@ class BifrostTransport:
             for peer in peers
         ]
         yield from self._fan_out(
-            seed_copy, seed_region, generated_at, report, on_arrival
+            seed_copy, seed_region, generated_at, report, on_arrival, track
         )
         if forwards:
             yield sim.all_of(forwards)
@@ -314,15 +358,24 @@ class BifrostTransport:
         sim = self.sim
         config = self.config
         stream = stream_of(seed_copy.kind)
+        track = f"deliver:{peer_region}:{seed_copy.slice_id}"
         attempts = 0
         while True:
             travelling = seed_copy.clean_copy()
-            sublink = self.topology.stream_link(seed_region, peer_region, stream)
-            yield sublink.transmit(travelling.size_bytes)
-            report.bytes_sent += travelling.size_bytes
-            if self._random.random() < config.corruption_probability:
-                travelling.corrupt()
-            yield sim.timeout(config.relay_processing_s)
+            with self._span(
+                "transmit_hop",
+                track,
+                source=seed_region,
+                destination=peer_region,
+                slice=seed_copy.slice_id,
+                attempt=attempts,
+            ):
+                sublink = self.topology.stream_link(seed_region, peer_region, stream)
+                yield sublink.transmit(travelling.size_bytes)
+                report.bytes_sent += travelling.size_bytes
+                if self._random.random() < config.corruption_probability:
+                    travelling.corrupt()
+                yield sim.timeout(config.relay_processing_s)
             try:
                 travelling.verify()
                 break
@@ -333,5 +386,5 @@ class BifrostTransport:
                     report.abandoned += 1
                     return
         yield from self._fan_out(
-            travelling, peer_region, generated_at, report, on_arrival
+            travelling, peer_region, generated_at, report, on_arrival, track
         )

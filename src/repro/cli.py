@@ -6,21 +6,33 @@ Usage::
     python -m repro fig5            # engine write-amplification comparison
     python -m repro fig9 --days 10  # dedup-vs-update-time mini month
     python -m repro dedup-sweep     # bandwidth saving across dup ratios
+    python -m repro observe         # traced cycle: stages + metrics
 
 Each subcommand is a smaller sibling of the corresponding benchmark in
-``benchmarks/`` — same code paths, friendlier runtimes.
+``benchmarks/`` — same code paths, friendlier runtimes.  Every command
+that renders a table also takes ``--json`` to emit the same data as
+machine-readable JSON on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.analysis.tables import render_table
 
 
-def _cmd_demo(_args) -> int:
+def _emit(args, data: dict, render) -> None:
+    """Print ``data`` as JSON if ``--json``, else via ``render(data)``."""
+    if getattr(args, "json", False):
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        render(data)
+
+
+def _cmd_demo(args) -> int:
     from repro.qindb.engine import QinDB
 
     db = QinDB.with_capacity(64 * 1024 * 1024)
@@ -28,18 +40,34 @@ def _cmd_demo(_args) -> int:
     db.put(b"url", 2, None)
     db.put(b"url", 3, b"version-3 terms")
     db.delete(b"url", 1)
-    rows = [
-        ["GET url/3", db.get(b"url", 3).decode()],
-        ["GET url/2 (deduplicated)", db.get(b"url", 2).decode()],
-        ["GET url/1 (deleted)", "KeyNotFoundError"],
-    ]
-    print(render_table(["operation", "result"], rows))
     stats = db.stats()
-    print(
-        f"\nsoftware WA {stats.software_write_amplification:.2f}x, "
-        f"hardware WA {stats.hardware_write_amplification:.2f}x, "
-        f"{stats.memtable_items} memtable items"
-    )
+    data = {
+        "operations": [
+            {"operation": "GET url/3", "result": db.get(b"url", 3).decode()},
+            {
+                "operation": "GET url/2 (deduplicated)",
+                "result": db.get(b"url", 2).decode(),
+            },
+            {"operation": "GET url/1 (deleted)", "result": "KeyNotFoundError"},
+        ],
+        "stats": {
+            "software_write_amplification": stats.software_write_amplification,
+            "hardware_write_amplification": stats.hardware_write_amplification,
+            "memtable_items": stats.memtable_items,
+        },
+    }
+
+    def render(data: dict) -> None:
+        rows = [[op["operation"], op["result"]] for op in data["operations"]]
+        print(render_table(["operation", "result"], rows))
+        stats = data["stats"]
+        print(
+            f"\nsoftware WA {stats['software_write_amplification']:.2f}x, "
+            f"hardware WA {stats['hardware_write_amplification']:.2f}x, "
+            f"{stats['memtable_items']} memtable items"
+        )
+
+    _emit(args, data, render)
     return 0
 
 
@@ -58,7 +86,7 @@ def _cmd_fig5(args) -> int:
         key_count=args.keys, value_bytes_mean=8 * 1024, versions=8,
         retained_versions=4,
     )
-    rows = []
+    engines = []
     for name, engine in (
         (
             "QinDB",
@@ -88,21 +116,38 @@ def _cmd_fig5(args) -> int:
             pace_user_bytes_per_s=3.5 * 1024 * 1024,
         )
         stats = result.final_stats
-        rows.append(
+        engines.append(
+            {
+                "engine": name,
+                "user_write_mean_mbs": result.user_write_mean_mbs,
+                "sys_write_mean_mbs": result.sys_write_mean_mbs,
+                "software_write_amplification": (
+                    stats.software_write_amplification
+                ),
+                "total_write_amplification": stats.total_write_amplification,
+            }
+        )
+    data = {"engines": engines}
+
+    def render(data: dict) -> None:
+        rows = [
             [
-                name,
-                f"{result.user_write_mean_mbs:.2f}",
-                f"{result.sys_write_mean_mbs:.2f}",
-                f"{stats.software_write_amplification:.2f}x",
-                f"{stats.total_write_amplification:.2f}x",
+                row["engine"],
+                f"{row['user_write_mean_mbs']:.2f}",
+                f"{row['sys_write_mean_mbs']:.2f}",
+                f"{row['software_write_amplification']:.2f}x",
+                f"{row['total_write_amplification']:.2f}x",
             ]
+            for row in data["engines"]
+        ]
+        print(
+            render_table(
+                ["engine", "user MB/s", "sys MB/s", "software WA", "total WA"],
+                rows,
+            )
         )
-    print(
-        render_table(
-            ["engine", "user MB/s", "sys MB/s", "software WA", "total WA"],
-            rows,
-        )
-    )
+
+    _emit(args, data, render)
     return 0
 
 
@@ -131,27 +176,46 @@ def _cmd_fig9(args) -> int:
         )
     )
     system.run_update_cycle()
-    rows = []
+    days = []
     ratios, times = [], []
     for day in MonthlyTrace(MonthlyTraceConfig(days=args.days)).days():
         report = system.run_update_cycle(mutation_rate=day.mutation_rate)
         ratios.append(report.dedup_ratio)
         times.append(report.update_time_s)
-        rows.append(
-            [day.day, f"{report.dedup_ratio * 100:.0f}%",
-             f"{report.update_time_s:.1f}s"]
+        days.append(
+            {
+                "day": day.day,
+                "dedup_ratio": report.dedup_ratio,
+                "update_time_s": report.update_time_s,
+            }
         )
-    print(render_table(["day", "dedup", "update time"], rows))
-    print(f"\nPearson r = {pearson_correlation(ratios, times):.3f}")
+    data = {
+        "days": days,
+        "pearson_r": pearson_correlation(ratios, times),
+    }
+
+    def render(data: dict) -> None:
+        rows = [
+            [
+                row["day"],
+                f"{row['dedup_ratio'] * 100:.0f}%",
+                f"{row['update_time_s']:.1f}s",
+            ]
+            for row in data["days"]
+        ]
+        print(render_table(["day", "dedup", "update time"], rows))
+        print(f"\nPearson r = {data['pearson_r']:.3f}")
+
+    _emit(args, data, render)
     return 0
 
 
-def _cmd_dedup_sweep(_args) -> int:
+def _cmd_dedup_sweep(args) -> int:
     from repro.bifrost.dedup import Deduplicator
     from repro.indexing.types import IndexDataset, IndexEntry, IndexKind
     from repro.workloads.kvtrace import make_value
 
-    rows = []
+    points = []
     for ratio in (0.0, 0.3, 0.5, 0.7, 0.9):
         deduplicator = Deduplicator()
         for version in (1, 2):
@@ -164,20 +228,101 @@ def _cmd_dedup_sweep(_args) -> int:
                     IndexEntry(IndexKind.FORWARD, key, make_value(key, source, 2048))
                 )
             result = deduplicator.process(dataset)
-        rows.append(
-            [f"{ratio:.0%}", f"{result.dedup_ratio:.0%}",
-             f"{result.bandwidth_saving_ratio:.0%}"]
+        points.append(
+            {
+                "duplicates": ratio,
+                "dedup_ratio": result.dedup_ratio,
+                "bandwidth_saving_ratio": result.bandwidth_saving_ratio,
+            }
         )
-    print(render_table(["duplicates", "dedup ratio", "bandwidth saved"], rows))
+    data = {"points": points}
+
+    def render(data: dict) -> None:
+        rows = [
+            [
+                f"{row['duplicates']:.0%}",
+                f"{row['dedup_ratio']:.0%}",
+                f"{row['bandwidth_saving_ratio']:.0%}",
+            ]
+            for row in data["points"]
+        ]
+        print(render_table(["duplicates", "dedup ratio", "bandwidth saved"], rows))
+
+    _emit(args, data, render)
     return 0
 
 
 def _cmd_report(args) -> int:
-    from repro.analysis.report import write_report
+    from repro.analysis.report import (
+        collect_sections,
+        generate_report,
+        sections_to_dict,
+    )
 
-    all_hold = write_report(args.output, days=args.days)
-    print(f"wrote {args.output}")
-    return 0 if all_hold else 1
+    sections = collect_sections(days=args.days)
+    data = sections_to_dict(sections)
+    content = generate_report(days=args.days, sections=sections)
+    with open(args.output, "w") as handle:
+        handle.write(content)
+    if args.json:
+        data["output"] = args.output
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(f"wrote {args.output}")
+    return 0 if data["all_hold"] else 1
+
+
+def _cmd_observe(args) -> int:
+    from repro.obs.runner import observe_cycle
+
+    observation = observe_cycle(cycles=args.cycles)
+    if args.trace_out:
+        with open(args.trace_out, "w") as handle:
+            json.dump(observation.chrome_trace(), handle)
+    data = observation.to_dict()
+    if args.trace_out:
+        data["trace_out"] = args.trace_out
+
+    def render(data: dict) -> None:
+        cycle_rows = [
+            [
+                row["version"],
+                f"{row['dedup_ratio'] * 100:.0f}%",
+                f"{row['bytes_sent']:,}",
+                f"{row['update_time_s']:.1f}s",
+                "yes" if row["promoted"] else "NO",
+            ]
+            for row in data["cycles"]
+        ]
+        print(
+            render_table(
+                ["version", "dedup", "bytes sent", "update time", "promoted"],
+                cycle_rows,
+            )
+        )
+        stage_rows = [
+            [
+                row["stage"],
+                row["count"],
+                f"{row['total_s']:.3f}s",
+                f"{row['share'] * 100:.1f}%",
+            ]
+            for row in data["stages"]
+        ]
+        print()
+        print(render_table(["stage", "spans", "sim time", "share"], stage_rows))
+        print()
+        highlight_rows = [
+            [name, f"{value:,.0f}"]
+            for name, value in sorted(data["highlights"].items())
+        ]
+        print(render_table(["metric", "value"], highlight_rows))
+        print(f"\n{data['span_count']} spans recorded")
+        if "trace_out" in data:
+            print(f"wrote Chrome trace to {data['trace_out']}")
+
+    _emit(args, data, render)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -186,7 +331,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("demo", help="QinDB semantics walkthrough")
+    demo = commands.add_parser("demo", help="QinDB semantics walkthrough")
 
     fig5 = commands.add_parser("fig5", help="engine write-amplification comparison")
     fig5.add_argument("--keys", type=int, default=128)
@@ -194,13 +339,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     fig9 = commands.add_parser("fig9", help="dedup vs update time mini-month")
     fig9.add_argument("--days", type=int, default=10)
 
-    commands.add_parser("dedup-sweep", help="bandwidth saving across dup ratios")
+    dedup_sweep = commands.add_parser(
+        "dedup-sweep", help="bandwidth saving across dup ratios"
+    )
 
     report = commands.add_parser(
         "report", help="write a paper-vs-measured markdown report"
     )
     report.add_argument("--output", default="REPORT.md")
     report.add_argument("--days", type=int, default=8)
+
+    observe = commands.add_parser(
+        "observe", help="traced update cycles: stage breakdown + metrics"
+    )
+    observe.add_argument("--cycles", type=int, default=2)
+    observe.add_argument(
+        "--trace-out", default=None,
+        help="write the Chrome trace_event JSON here",
+    )
+
+    for sub in (demo, fig5, fig9, dedup_sweep, report, observe):
+        sub.add_argument(
+            "--json", action="store_true",
+            help="emit machine-readable JSON instead of tables",
+        )
 
     args = parser.parse_args(argv)
     handlers = {
@@ -209,6 +371,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig9": _cmd_fig9,
         "dedup-sweep": _cmd_dedup_sweep,
         "report": _cmd_report,
+        "observe": _cmd_observe,
     }
     return handlers[args.command](args)
 

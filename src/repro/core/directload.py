@@ -12,7 +12,7 @@ returns the cycle's report — the unit every Figure 9/10 experiment sweeps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.bifrost.channels import build_topology
@@ -36,6 +36,7 @@ from repro.indexing.types import IndexKind
 from repro.indexing.vocabulary import ZipfVocabulary
 from repro.lsm.engine import LSMConfig, LSMEngine
 from repro.mint.cluster import MintCluster
+from repro.obs import MetricsRegistry, Tracer
 from repro.qindb.engine import QinDB, QinDBConfig
 from repro.simulation.kernel import Simulator
 
@@ -58,6 +59,9 @@ class UpdateCycleReport:
     evicted_versions: List[int]
     inconsistency_rate: float
     promoted: bool
+    #: per-stage simulated-time breakdown of this cycle's trace
+    #: ({stage, count, total_s, share} rows, in pipeline order)
+    stages: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def throughput_kps(self) -> float:
@@ -73,11 +77,17 @@ class DirectLoad:
     def __init__(self, config: DirectLoadConfig | None = None) -> None:
         self.config = config or DirectLoadConfig()
         self.sim = Simulator()
+        #: the system's two observability planes: every component
+        #: registers live counter views here, and the whole update cycle
+        #: is traced in simulated time (see :mod:`repro.obs`)
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(self.sim)
         self.topology = build_topology(self.sim, self.config.topology)
         self.monitor = NetworkMonitor(self.topology)
         self.monitor.start()
         self.transport = BifrostTransport(
-            self.topology, self.monitor, self.config.transport
+            self.topology, self.monitor, self.config.transport,
+            tracer=self.tracer,
         )
         vocabulary = ZipfVocabulary(
             self.config.vocabulary_size, seed=self.config.seed
@@ -110,6 +120,13 @@ class DirectLoad:
             dc: MintCluster(dc, self.config.mint, self._engine_factory)
             for dc in self.topology.all_data_centers()
         }
+        self.topology.register_metrics(self.metrics)
+        self.monitor.register_metrics(self.metrics)
+        for dc, cluster in self.clusters.items():
+            cluster.register_metrics(self.metrics)
+            # Ingestion spans share one track per data center, matching
+            # the per-DC "ingest" spans the cycle callback opens.
+            cluster.bind_trace(self.tracer.track(f"ingest:{dc}"))
         self.versions = VersionManager(self.config.max_live_versions)
         self.reports: List[UpdateCycleReport] = []
         #: raw transport report of the most recent cycle (delay analysis)
@@ -120,9 +137,15 @@ class DirectLoad:
     def _engine_factory(self, node_name: str):
         capacity = self.config.mint.node_capacity_bytes
         if self.config.engine == "qindb":
-            return QinDB.with_capacity(
+            engine = QinDB.with_capacity(
                 capacity, config=QinDBConfig(segment_bytes=4 * 1024 * 1024)
             )
+            # Engine spans (GC sweeps, checkpoints) run on the node's own
+            # device clock, so they get a dedicated foreign-clock track.
+            engine.bind_trace(
+                self.tracer.track(f"engine:{node_name}", clock=engine.device)
+            )
+            return engine
         return LSMEngine.with_capacity(
             capacity,
             config=LSMConfig(
@@ -134,71 +157,111 @@ class DirectLoad:
     def run_update_cycle(
         self, mutation_rate: Optional[float] = None
     ) -> UpdateCycleReport:
-        """Build and roll out one new index version end to end."""
-        first_version = not self.versions.live_versions
-        if first_version:
-            dataset = self.pipeline.build_version()
-        else:
-            dataset = self.pipeline.advance_and_build(mutation_rate)
-        version = dataset.version
+        """Build and roll out one new index version end to end.
 
-        if not self.config.dedup_enabled:
-            to_deliver = dataset
-            dedup_ratio = 0.0
-            saving = 0.0
-            bytes_before = dataset.total_bytes
-            raw_slices = self.slicer.make_slices(to_deliver)
-        elif self.config.dedup_mode == "chunked":
-            to_deliver, encodings, counters = self._chunk_dedup(dataset)
-            dedup_ratio = counters["unchanged"] / max(1, counters["total"])
-            bytes_before = counters["bytes_before"]
-            saving = (
-                (bytes_before - counters["bytes_after"]) / bytes_before
-                if bytes_before
-                else 0.0
+        Every stage runs inside a tracer span (build -> dedup -> slice ->
+        schedule -> transmit -> evict -> gray release -> activate), so
+        one cycle leaves a complete simulated-time trace behind —
+        :meth:`stage_summary` folds it into the per-stage breakdown.
+        """
+        tracer = self.tracer
+        with tracer.span("cycle") as cycle_span:
+            first_version = not self.versions.live_versions
+            with tracer.span("build", first=first_version):
+                if first_version:
+                    dataset = self.pipeline.build_version()
+                else:
+                    dataset = self.pipeline.advance_and_build(mutation_rate)
+            version = dataset.version
+            cycle_span.attrs["version"] = version
+
+            chunked = (
+                self.config.dedup_enabled and self.config.dedup_mode == "chunked"
             )
-            raw_slices = self.slicer.make_delta_slices(to_deliver, encodings)
-        else:
-            dedup_result: DedupResult = self.deduplicator.process(dataset)
-            to_deliver = dedup_result.dataset
-            dedup_ratio = dedup_result.dedup_ratio
-            saving = dedup_result.bandwidth_saving_ratio
-            bytes_before = dedup_result.bytes_before
-            raw_slices = self.slicer.make_slices(to_deliver)
+            encodings = None
+            with tracer.span(
+                "dedup",
+                version=version,
+                mode=self.config.dedup_mode if self.config.dedup_enabled else "off",
+            ):
+                if not self.config.dedup_enabled:
+                    to_deliver = dataset
+                    dedup_ratio = 0.0
+                    saving = 0.0
+                    bytes_before = dataset.total_bytes
+                elif chunked:
+                    to_deliver, encodings, counters = self._chunk_dedup(dataset)
+                    dedup_ratio = counters["unchanged"] / max(1, counters["total"])
+                    bytes_before = counters["bytes_before"]
+                    saving = (
+                        (bytes_before - counters["bytes_after"]) / bytes_before
+                        if bytes_before
+                        else 0.0
+                    )
+                else:
+                    dedup_result: DedupResult = self.deduplicator.process(dataset)
+                    to_deliver = dedup_result.dataset
+                    dedup_ratio = dedup_result.dedup_ratio
+                    saving = dedup_result.bandwidth_saving_ratio
+                    bytes_before = dedup_result.bytes_before
 
-        slices = self.scheduler.schedule(raw_slices, start_time=self.sim.now)
-        delivered_keys = [0]
+            with tracer.span("slice", version=version):
+                if chunked:
+                    raw_slices = self.slicer.make_delta_slices(
+                        to_deliver, encodings
+                    )
+                else:
+                    raw_slices = self.slicer.make_slices(to_deliver)
 
-        def ingest(dc: str, item) -> None:
-            delivered_keys[0] += self.clusters[dc].ingest_slice(item)
+            with tracer.span("schedule", slices=len(raw_slices)):
+                slices = self.scheduler.schedule(
+                    raw_slices, start_time=self.sim.now
+                )
+            delivered_keys = [0]
 
-        delivery: DeliveryReport = self.transport.deliver_version(
-            slices, on_arrival=ingest
-        )
-        self.last_delivery = delivery
+            def ingest(dc: str, item) -> None:
+                with tracer.span(
+                    "ingest",
+                    track=f"ingest:{dc}",
+                    dc=dc,
+                    slice=item.slice_id,
+                    entries=len(item.entries),
+                ):
+                    delivered_keys[0] += self.clusters[dc].ingest_slice(item)
 
-        evicted = self.versions.install(version)
-        for old_version in evicted:
-            for cluster in self.clusters.values():
-                cluster.drop_version(old_version)
+            with tracer.span("transmit", version=version, slices=len(slices)):
+                delivery: DeliveryReport = self.transport.deliver_version(
+                    slices, on_arrival=ingest
+                )
+            self.last_delivery = delivery
 
-        promoted, inconsistency = self._gray_release(version, dedup_ratio)
+            with tracer.span("evict"):
+                evicted = self.versions.install(version)
+                for old_version in evicted:
+                    for cluster in self.clusters.values():
+                        cluster.drop_version(old_version)
 
-        report = UpdateCycleReport(
-            version=version,
-            entries_built=dataset.entry_count,
-            dedup_ratio=dedup_ratio,
-            bandwidth_saving_ratio=saving,
-            bytes_before_dedup=bytes_before,
-            bytes_sent=delivery.bytes_sent,
-            update_time_s=delivery.update_time_s,
-            miss_ratio=delivery.miss_ratio,
-            retransmissions=delivery.retransmissions,
-            detoured=delivery.detoured,
-            keys_delivered=delivered_keys[0],
-            evicted_versions=evicted,
-            inconsistency_rate=inconsistency,
-            promoted=promoted,
+            promoted, inconsistency = self._gray_release(version, dedup_ratio)
+
+            report = UpdateCycleReport(
+                version=version,
+                entries_built=dataset.entry_count,
+                dedup_ratio=dedup_ratio,
+                bandwidth_saving_ratio=saving,
+                bytes_before_dedup=bytes_before,
+                bytes_sent=delivery.bytes_sent,
+                update_time_s=delivery.update_time_s,
+                miss_ratio=delivery.miss_ratio,
+                retransmissions=delivery.retransmissions,
+                detoured=delivery.detoured,
+                keys_delivered=delivered_keys[0],
+                evicted_versions=evicted,
+                inconsistency_rate=inconsistency,
+                promoted=promoted,
+            )
+        # The cycle span is closed now: fold its trace into the report.
+        report.stages = self.tracer.stage_summary(
+            root_id=cycle_span.span_id
         )
         self.reports.append(report)
         return report
@@ -227,32 +290,38 @@ class DirectLoad:
 
     def _gray_release(self, version: int, dedup_ratio: float) -> tuple[bool, float]:
         """Advance the gray DC, measure, then promote or roll back."""
-        release = GrayRelease(
-            self.config.gray_dc, self.config.release_thresholds
-        )
-        self.release = release
-        previous = self.versions.active_version
-        release.start(version, self.topology.all_data_centers(), previous)
-        inconsistency = (
-            0.0
-            if previous is None
-            else estimate_inconsistency(
-                duplicate_ratio=dedup_ratio,
-                cross_region_share=self.config.cross_region_share,
+        with self.tracer.span(
+            "gray_release", version=version, gray_dc=self.config.gray_dc
+        ) as span:
+            release = GrayRelease(
+                self.config.gray_dc, self.config.release_thresholds
             )
-        )
-        p99 = self._sample_gray_latency(version)
-        observation = GrayObservation(
-            inconsistency_rate=inconsistency,
-            error_rate=0.0,
-            p99_latency_s=p99,
-        )
-        if release.observe(observation):
-            release.promote()
-            self.versions.activate(version)
-            return True, inconsistency
-        release.rollback()
-        return False, inconsistency
+            self.release = release
+            previous = self.versions.active_version
+            release.start(version, self.topology.all_data_centers(), previous)
+            inconsistency = (
+                0.0
+                if previous is None
+                else estimate_inconsistency(
+                    duplicate_ratio=dedup_ratio,
+                    cross_region_share=self.config.cross_region_share,
+                )
+            )
+            p99 = self._sample_gray_latency(version)
+            observation = GrayObservation(
+                inconsistency_rate=inconsistency,
+                error_rate=0.0,
+                p99_latency_s=p99,
+            )
+            if release.observe(observation):
+                with self.tracer.span("activate", version=version):
+                    release.promote()
+                    self.versions.activate(version)
+                span.attrs["outcome"] = "promoted"
+                return True, inconsistency
+            release.rollback()
+            span.attrs["outcome"] = "rolled_back"
+            return False, inconsistency
 
     def _sample_gray_latency(self, version: int, samples: int = 32) -> float:
         """p99 of real engine reads at the gray DC for the new version.
@@ -331,3 +400,7 @@ class DirectLoad:
                 else:
                     totals[name] = totals.get(name, 0) + value
         return totals
+
+    def stage_summary(self) -> List[Dict[str, object]]:
+        """Per-stage simulated-time breakdown of the most recent cycle."""
+        return self.tracer.stage_summary(root_name="cycle")

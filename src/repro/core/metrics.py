@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 
@@ -54,19 +54,33 @@ class TimeSeries:
 
 
 class PercentileTracker:
-    """Collects samples; reports mean and arbitrary percentiles."""
+    """Collects samples; reports mean and arbitrary percentiles.
+
+    The sorted order is cached between queries and invalidated by the
+    next ``add``/``extend``, so ``summary()`` (three percentile reads)
+    sorts once instead of three times; :attr:`sort_count` witnesses it.
+    """
 
     def __init__(self) -> None:
         self._samples: List[float] = []
+        self._ordered: Optional[List[float]] = None
+        self._sort_count = 0
 
     def add(self, sample: float) -> None:
         self._samples.append(sample)
+        self._ordered = None
 
     def extend(self, samples: Sequence[float]) -> None:
         self._samples.extend(samples)
+        self._ordered = None
 
     def __len__(self) -> int:
         return len(self._samples)
+
+    @property
+    def sort_count(self) -> int:
+        """How many times the sample list has actually been sorted."""
+        return self._sort_count
 
     @property
     def mean(self) -> float:
@@ -80,11 +94,13 @@ class PercentileTracker:
             raise ConfigError(f"percentile must be in [0, 100], got {p}")
         if not self._samples:
             return 0.0
-        ordered = sorted(self._samples)
+        if self._ordered is None:
+            self._ordered = sorted(self._samples)
+            self._sort_count += 1
         # The epsilon guards against float artifacts like 99.9/100*1000
         # evaluating to 999.0000000000001 (which would ceil to 1000).
-        rank = max(0, math.ceil(p / 100.0 * len(ordered) - 1e-9) - 1)
-        return ordered[rank]
+        rank = max(0, math.ceil(p / 100.0 * len(self._ordered) - 1e-9) - 1)
+        return self._ordered[rank]
 
     def summary(self) -> Dict[str, float]:
         """The paper's three statistical points (Figure 8)."""
@@ -135,6 +151,18 @@ class CacheCounters:
             "hit_rate": self.hit_rate,
         }
 
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Expose live views under ``prefix.*`` in a metrics registry."""
+        registry.register_many(
+            prefix,
+            {
+                "hits": lambda: self.hits,
+                "misses": lambda: self.misses,
+                "evictions": lambda: self.evictions,
+                "invalidated": lambda: self.invalidated,
+            },
+        )
+
 
 @dataclass
 class BatchCounters:
@@ -161,6 +189,16 @@ class BatchCounters:
             "mean_batch_size": self.mean_batch_size,
         }
 
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Expose live views under ``prefix.*`` in a metrics registry."""
+        registry.register_many(
+            prefix,
+            {
+                "batches": lambda: self.batches,
+                "batched_puts": lambda: self.batched_puts,
+            },
+        )
+
 
 @dataclass
 class Sample:
@@ -171,45 +209,70 @@ class Sample:
 
 
 class ThroughputSampler:
-    """Snapshots counters on an interval; yields per-interval rates."""
+    """Snapshots counters on an interval; yields per-interval rates.
 
-    def __init__(self, interval_s: float = 60.0) -> None:
+    Counters come either from explicit dicts/callables (the historical
+    API) or from a bound :class:`~repro.obs.registry.MetricsRegistry` —
+    pass ``registry=`` and omit the per-call counter arguments, and every
+    registered metric becomes sampleable.
+    """
+
+    def __init__(self, interval_s: float = 60.0, registry=None) -> None:
         if interval_s <= 0:
             raise ConfigError(f"interval must be positive, got {interval_s}")
         self.interval_s = interval_s
+        self.registry = registry
         self._samples: List[Sample] = []
         self._next_due = 0.0
 
-    def prime(self, now: float, counters: Dict[str, float]) -> None:
+    def _read(self, counters: Optional[Dict[str, float]]) -> Dict[str, float]:
+        if counters is not None:
+            return dict(counters)
+        if self.registry is None:
+            raise ConfigError(
+                "no counters given and no registry bound to the sampler"
+            )
+        return self.registry.collect()
+
+    def prime(self, now: float, counters: Optional[Dict[str, float]] = None) -> None:
         """Record the baseline sample at experiment start."""
-        self._samples = [Sample(now, dict(counters))]
+        self._samples = [Sample(now, self._read(counters))]
         self._next_due = now + self.interval_s
 
-    def maybe_sample(self, now: float, read_counters: Callable[[], Dict[str, float]]) -> None:
+    def maybe_sample(
+        self,
+        now: float,
+        read_counters: Optional[Callable[[], Dict[str, float]]] = None,
+    ) -> None:
         """Take snapshots for every interval boundary passed by ``now``."""
         while now >= self._next_due:
-            self._samples.append(Sample(self._next_due, read_counters()))
+            values = read_counters() if read_counters is not None else None
+            self._samples.append(Sample(self._next_due, self._read(values)))
             self._next_due += self.interval_s
 
-    def finalize(self, now: float, counters: Dict[str, float]) -> None:
+    def finalize(self, now: float, counters: Optional[Dict[str, float]] = None) -> None:
         """Record the trailing partial interval."""
         if not self._samples or now > self._samples[-1].at:
-            self._samples.append(Sample(now, dict(counters)))
+            self._samples.append(Sample(now, self._read(counters)))
 
     def rate_series(self, counter: str) -> List[Tuple[float, float]]:
-        """(interval_start, delta/second) for one counter."""
+        """(interval_start, delta/second) for one counter.
+
+        A counter missing from a snapshot reads as 0.0 — counters can be
+        registered mid-run, and their pre-registration history is zero.
+        """
         series: List[Tuple[float, float]] = []
         for before, after in zip(self._samples, self._samples[1:]):
             duration = after.at - before.at
             if duration <= 0:
                 continue
-            delta = after.values[counter] - before.values[counter]
+            delta = after.values.get(counter, 0.0) - before.values.get(counter, 0.0)
             series.append((before.at, delta / duration))
         return series
 
     def level_series(self, counter: str) -> List[Tuple[float, float]]:
         """(time, value) of a gauge-like counter at each snapshot."""
-        return [(s.at, s.values[counter]) for s in self._samples]
+        return [(s.at, s.values.get(counter, 0.0)) for s in self._samples]
 
 
 def mean_and_stddev(values: Sequence[float]) -> Tuple[float, float]:

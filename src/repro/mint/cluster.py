@@ -78,6 +78,8 @@ class MintCluster:
         self.chunk_store = ChunkStore()
         #: per-version chunk recipes, released when the version drops
         self._version_recipes: Dict[int, List[List[bytes]]] = {}
+        #: optional trace track (``obs.TraceTrack``) for ingest spans
+        self.trace = None
 
     def _default_engine(self, node_name: str) -> Engine:
         return QinDB.with_capacity(
@@ -113,7 +115,13 @@ class MintCluster:
         for group in self.groups:
             batch = by_group.get(group.group_id)
             if batch:
-                total += group.put_batch(batch)
+                if self.trace is not None:
+                    with self.trace.span(
+                        "ingest_group", group=group.group_id, keys=len(batch)
+                    ):
+                        total += group.put_batch(batch)
+                else:
+                    total += group.put_batch(batch)
         return total
 
     def get(self, key: bytes, version: int) -> bytes:
@@ -205,6 +213,125 @@ class MintCluster:
             if version is not None and item_version != version:
                 continue
             yield skey[len(prefix):], item_version, value
+
+    # ------------------------------------------------------------------
+    def bind_trace(self, track) -> None:
+        """Attach a trace track; ingestion opens per-group spans on it."""
+        self.trace = track
+
+    def register_metrics(self, registry) -> None:
+        """Register per-node counters across the storage stack.
+
+        Naming folds the node path into dotted segments
+        (``north-dc1/g0/n0`` -> ``north-dc1.g0.n0``) under four
+        subsystem roots: ``mint.<node>.*`` (request tallies),
+        ``qindb.<node>.*`` (engine counters, incl. ``read_cache.*`` and
+        ``batch.*``), and ``ssd.<node>.*`` (firmware counters).  Every
+        reader dereferences ``node.engine`` at call time, so views stay
+        live across a crash/recovery that swaps the engine object; a
+        counter the engine lacks (the LSM baseline has no read cache)
+        reads 0.0 rather than failing the whole snapshot.
+        """
+
+        def engine_view(node, read):
+            def value() -> float:
+                try:
+                    return float(read(node.engine))
+                except AttributeError:
+                    return 0.0
+            return value
+
+        for node in self.all_nodes:
+            path = node.name.replace("/", ".")
+            registry.register_many(
+                f"mint.{path}",
+                {
+                    "puts": lambda node=node: node.puts,
+                    "gets": lambda node=node: node.gets,
+                    "deletes": lambda node=node: node.deletes,
+                    "recoveries": lambda node=node: node.recoveries,
+                    "up": lambda node=node: 1.0 if node.is_up else 0.0,
+                },
+            )
+            registry.register_many(
+                f"qindb.{path}",
+                {
+                    "user_bytes_written": engine_view(
+                        node, lambda e: e.user_bytes_written
+                    ),
+                    "user_bytes_read": engine_view(
+                        node, lambda e: e.user_bytes_read
+                    ),
+                    "aof_bytes_appended": engine_view(
+                        node, lambda e: e.aofs.bytes_appended
+                    ),
+                    "disk_used_bytes": engine_view(
+                        node, lambda e: e.aofs.disk_used_bytes
+                    ),
+                    "gc_runs": engine_view(node, lambda e: e.gc_runs),
+                    "gc_bytes_reappended": engine_view(
+                        node, lambda e: e.gc_bytes_reappended
+                    ),
+                    "memtable_items": engine_view(
+                        node, lambda e: len(e.memtable)
+                    ),
+                    "read_cache.hits": engine_view(
+                        node,
+                        lambda e: e.read_cache.counters.hits if e.read_cache else 0,
+                    ),
+                    "read_cache.misses": engine_view(
+                        node,
+                        lambda e: e.read_cache.counters.misses
+                        if e.read_cache
+                        else 0,
+                    ),
+                    "read_cache.evictions": engine_view(
+                        node,
+                        lambda e: e.read_cache.counters.evictions
+                        if e.read_cache
+                        else 0,
+                    ),
+                    "read_cache.invalidated": engine_view(
+                        node,
+                        lambda e: e.read_cache.counters.invalidated
+                        if e.read_cache
+                        else 0,
+                    ),
+                    "batch.batches": engine_view(
+                        node, lambda e: e.batch_counters.batches
+                    ),
+                    "batch.batched_puts": engine_view(
+                        node, lambda e: e.batch_counters.batched_puts
+                    ),
+                },
+            )
+            registry.register_many(
+                f"ssd.{path}",
+                {
+                    "host_pages_written": engine_view(
+                        node, lambda e: e.device.counters.host_pages_written
+                    ),
+                    "host_pages_read": engine_view(
+                        node, lambda e: e.device.counters.host_pages_read
+                    ),
+                    "gc_pages_written": engine_view(
+                        node, lambda e: e.device.counters.gc_pages_written
+                    ),
+                    "blocks_erased": engine_view(
+                        node, lambda e: e.device.counters.blocks_erased
+                    ),
+                    "host_write_ops": engine_view(
+                        node, lambda e: e.device.counters.host_write_ops
+                    ),
+                    "gc_write_ops": engine_view(
+                        node, lambda e: e.device.counters.gc_write_ops
+                    ),
+                    "busy_time_s": engine_view(
+                        node, lambda e: e.device.counters.busy_time_s
+                    ),
+                    "device_now_s": engine_view(node, lambda e: e.device.now),
+                },
+            )
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:

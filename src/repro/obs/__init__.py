@@ -1,0 +1,27 @@
+"""Observability: the metrics plane and the trace plane.
+
+* :mod:`repro.obs.registry` — :class:`MetricsRegistry`, dotted-name live
+  counter views with snapshots, prefix queries, and delta diffing;
+* :mod:`repro.obs.tracer` — :class:`Tracer`, simulated-time hierarchical
+  spans with JSON / Chrome ``trace_event`` export and per-stage summary;
+* :mod:`repro.obs.runner` — ``repro observe``'s one-cycle harness
+  (imported lazily; it depends on :mod:`repro.core`).
+"""
+
+from repro.obs.registry import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_default_registry,
+    set_default_registry,
+)
+from repro.obs.tracer import Span, Tracer, TraceTrack
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Span",
+    "TraceTrack",
+    "Tracer",
+    "get_default_registry",
+    "set_default_registry",
+]

@@ -1,0 +1,157 @@
+"""The metrics plane: one registry, dotted names, live views.
+
+Every component registers its counters and gauges under a dotted name
+(``qindb.north-dc1.g0.n0.read_cache.hits``, ``ssd.<node>.gc_write_ops``,
+``bifrost.link.origin->north.bytes``) as a zero-argument callable that
+reads the *existing* counter — there is no second copy of any tally, so
+registering a metric can never drift from the component's own view.
+
+A :meth:`MetricsRegistry.snapshot` materializes every callable at one
+instant; two snapshots diff with :meth:`MetricsSnapshot.delta` (counters
+registered between the two snapshots read as 0.0 in the earlier one), and
+prefix queries slice either the registry or a snapshot by subsystem.
+:class:`~repro.core.metrics.ThroughputSampler` accepts a registry as its
+counter source, turning any registered counter into a rate series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import ConfigError
+
+MetricReader = Callable[[], float]
+
+
+def _matches(name: str, prefix: Optional[str]) -> bool:
+    """Dotted-prefix match: ``qindb`` matches ``qindb.n0.puts`` but a
+    prefix never matches mid-segment (``qin`` does not match)."""
+    if prefix is None:
+        return True
+    return name == prefix or name.startswith(prefix + ".")
+
+
+@dataclass
+class MetricsSnapshot:
+    """Every registered metric's value at one instant."""
+
+    at: float
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        return self.values.get(name, default)
+
+    def query(self, prefix: str) -> Dict[str, float]:
+        """The subset of values whose dotted name falls under ``prefix``."""
+        return {
+            name: value
+            for name, value in self.values.items()
+            if _matches(name, prefix)
+        }
+
+    def delta(self, earlier: "MetricsSnapshot") -> Dict[str, float]:
+        """Per-counter differences since ``earlier``.
+
+        A counter absent from the earlier snapshot (registered mid-run)
+        counts from 0.0, so growing systems never KeyError a diff.
+        """
+        return {
+            name: value - earlier.values.get(name, 0.0)
+            for name, value in self.values.items()
+        }
+
+
+class MetricsRegistry:
+    """Dotted-name registry of live counter/gauge views.
+
+    The registry stores *callables*, not values: every read goes straight
+    to the owning component's counter, so there is no double bookkeeping
+    and no staleness.  Instances are independent — each
+    :class:`~repro.core.directload.DirectLoad` owns one — but a
+    process-wide default exists for scripts that want a shared plane
+    (:func:`get_default_registry`).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, MetricReader] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # ------------------------------------------------------------------
+    def register(
+        self, name: str, read: MetricReader, replace: bool = False
+    ) -> None:
+        """Register ``name`` -> ``read()``; duplicate names are an error
+        unless ``replace`` is set (component re-created in place)."""
+        if not name or name.startswith(".") or name.endswith("."):
+            raise ConfigError(f"invalid metric name {name!r}")
+        if name in self._metrics and not replace:
+            raise ConfigError(f"metric {name!r} already registered")
+        self._metrics[name] = read
+
+    def register_many(
+        self, prefix: str, readers: Dict[str, MetricReader], replace: bool = False
+    ) -> None:
+        """Register ``{suffix: reader}`` under ``prefix.suffix``."""
+        for suffix, read in readers.items():
+            self.register(f"{prefix}.{suffix}", read, replace=replace)
+
+    def unregister_prefix(self, prefix: str) -> int:
+        """Drop every metric under ``prefix``; returns how many died."""
+        doomed = [name for name in self._metrics if _matches(name, prefix)]
+        for name in doomed:
+            del self._metrics[name]
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    def names(self, prefix: Optional[str] = None) -> List[str]:
+        """Registered names (under ``prefix``), sorted."""
+        return sorted(n for n in self._metrics if _matches(n, prefix))
+
+    def value(self, name: str) -> float:
+        """Read one metric live."""
+        try:
+            read = self._metrics[name]
+        except KeyError:
+            raise ConfigError(f"no metric named {name!r}") from None
+        return float(read())
+
+    def collect(self, prefix: Optional[str] = None) -> Dict[str, float]:
+        """Materialize every (matching) metric into a plain dict.
+
+        This is the shape :class:`~repro.core.metrics.ThroughputSampler`
+        snapshots, so a registry drops in wherever a counter dict did.
+        """
+        return {
+            name: float(read())
+            for name, read in self._metrics.items()
+            if _matches(name, prefix)
+        }
+
+    def snapshot(
+        self, prefix: Optional[str] = None, at: float = 0.0
+    ) -> MetricsSnapshot:
+        """A :class:`MetricsSnapshot` of the current values."""
+        return MetricsSnapshot(at=at, values=self.collect(prefix))
+
+
+_default: Optional[MetricsRegistry] = None
+
+
+def get_default_registry() -> MetricsRegistry:
+    """The lazily-created process-wide registry."""
+    global _default
+    if _default is None:
+        _default = MetricsRegistry()
+    return _default
+
+
+def set_default_registry(registry: Optional[MetricsRegistry]) -> None:
+    """Inject (or reset with ``None``) the process-wide registry."""
+    global _default
+    _default = registry

@@ -24,6 +24,7 @@ are operation latencies and counter deltas over time are throughputs.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -185,6 +186,18 @@ class QinDB:
         #: the newest periodic checkpoint, if auto-checkpointing is on
         self.latest_checkpoint = None
         self._bytes_at_last_checkpoint = 0
+        #: optional trace track (``obs.TraceTrack`` on the device clock)
+        #: carrying GC-sweep and checkpoint spans
+        self.trace = None
+
+    def bind_trace(self, track) -> None:
+        """Attach a trace track for engine-level spans.
+
+        The track should run on *this engine's device clock* (e.g.
+        ``tracer.track(name, clock=engine.device)``): GC and checkpoints
+        happen in device time, not backbone-simulation time.
+        """
+        self.trace = track
 
     @classmethod
     def with_capacity(
@@ -478,9 +491,15 @@ class QinDB:
             return
         from repro.qindb.checkpoint import Checkpoint
 
-        if self.latest_checkpoint is not None:
-            self.latest_checkpoint.discard()
-        self.latest_checkpoint = Checkpoint.write(self)
+        span = (
+            self.trace.span("checkpoint", appended_bytes=appended)
+            if self.trace is not None
+            else nullcontext()
+        )
+        with span:
+            if self.latest_checkpoint is not None:
+                self.latest_checkpoint.discard()
+            self.latest_checkpoint = Checkpoint.write(self)
         self._bytes_at_last_checkpoint = appended
 
     @property
@@ -511,6 +530,15 @@ class QinDB:
         self._check_open()
         if segment_id == self.aofs.active_segment_id:
             raise StorageError("cannot collect the active segment")
+        span = (
+            self.trace.span("gc_sweep", segment=segment_id)
+            if self.trace is not None
+            else nullcontext()
+        )
+        with span:
+            self._collect_segment(segment_id)
+
+    def _collect_segment(self, segment_id: int) -> None:
         if self.read_cache is not None:
             # Surviving records move to new locations and the segment's
             # blocks are erased; cached values keyed into it must die

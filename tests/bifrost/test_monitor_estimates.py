@@ -59,6 +59,63 @@ def test_ewma_smooths_samples(setup):
     assert 0.0 < after_idle < busy  # decayed but not forgotten
 
 
+def test_ewma_converges_toward_step_change(setup):
+    """A utilization step is absorbed geometrically, factor (1 - alpha)."""
+    sim, topology = setup
+    alpha = 0.3
+    monitor = NetworkMonitor(topology, sample_interval_s=60.0, ewma_alpha=alpha)
+    link = topology.backbone[(ORIGIN, "north")]
+    monitor.sample_now()  # idle seed
+    assert monitor.snapshot()[(ORIGIN, "north")] == 0.0
+    # Step: the link runs saturated from now on; sample once per window.
+    window_bytes = int(link.bandwidth_bps / 8 * 60)
+    gaps = []
+    for _ in range(8):
+        link.transmit(window_bytes)
+        sim.run(until=sim.now + 60.0)
+        monitor.sample_now()
+        gaps.append(1.0 - monitor.snapshot()[(ORIGIN, "north")])
+    for before, after in zip(gaps, gaps[1:]):
+        assert after < before  # monotone approach to the new level
+        assert after == pytest.approx(before * (1.0 - alpha), rel=0.05)
+    assert gaps[-1] < 0.1  # converged close to saturation
+
+
+def test_route_scoring_prefers_faster_predicted_relay(setup):
+    """With the direct backbone saturated, the relay detour must win."""
+    sim, topology = setup
+    monitor = NetworkMonitor(topology, sample_interval_s=60.0, ewma_alpha=1.0)
+    nbytes = 50_000
+    # Idle: every path predicts alike, ties favour the direct route.
+    assert monitor.choose_route("north", nbytes, "summary") == [ORIGIN, "north"]
+    direct = topology.backbone[(ORIGIN, "north")]
+    direct.transmit(int(direct.bandwidth_bps / 8 * 60))  # one window's worth
+    sim.run(until=60.0)
+    monitor.sample_now()  # alpha=1.0: belief snaps to the observation
+    hops = monitor.choose_route("north", nbytes, "summary")
+    assert len(hops) == 3 and hops[0] == ORIGIN and hops[-1] == "north"
+    assert monitor.estimate_route_time(
+        hops, nbytes, "summary"
+    ) < monitor.estimate_route_time([ORIGIN, "north"], nbytes, "summary")
+
+
+def test_monitor_metrics_registered(setup):
+    from repro.obs import MetricsRegistry
+
+    sim, topology = setup
+    monitor = NetworkMonitor(topology, sample_interval_s=60.0, ewma_alpha=1.0)
+    registry = MetricsRegistry()
+    monitor.register_metrics(registry)
+    name = f"bifrost.monitor.{ORIGIN}-north.utilization_ewma"
+    assert registry.value(name) == 0.0
+    link = topology.backbone[(ORIGIN, "north")]
+    link.transmit(int(link.bandwidth_bps / 8 * 60))
+    sim.run(until=60.0)
+    monitor.sample_now()
+    assert registry.value(name) > 0.9  # live view of the belief
+    assert registry.value(f"bifrost.monitor.{ORIGIN}-north.samples") == 1.0
+
+
 def test_sampling_loop_runs_periodically(setup):
     sim, topology = setup
     monitor = NetworkMonitor(topology, sample_interval_s=5.0)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -30,6 +32,63 @@ def test_fig9_command_small(capsys):
     assert main(["fig9", "--days", "3"]) == 0
     output = capsys.readouterr().out
     assert "Pearson r" in output
+
+
+def test_demo_json(capsys):
+    assert main(["demo", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["operations"][0]["operation"] == "GET url/3"
+    assert data["stats"]["memtable_items"] >= 0
+
+
+def test_fig5_json(capsys):
+    assert main(["fig5", "--keys", "24", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    names = [row["engine"] for row in data["engines"]]
+    assert names == ["QinDB", "LSM"]
+    assert all(row["total_write_amplification"] > 0 for row in data["engines"])
+
+
+def test_fig9_json(capsys):
+    assert main(["fig9", "--days", "3", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert len(data["days"]) == 3
+    assert "pearson_r" in data
+
+
+def test_dedup_sweep_json(capsys):
+    assert main(["dedup-sweep", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert len(data["points"]) == 5
+    assert data["points"][-1]["duplicates"] == 0.9
+
+
+def test_observe_command(capsys, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    assert main(["observe", "--cycles", "1", "--trace-out", str(trace_path)]) == 0
+    output = capsys.readouterr().out
+    assert "transmit" in output and "spans recorded" in output
+    trace = json.loads(trace_path.read_text())
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+
+def test_observe_json(capsys, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    assert main(
+        ["observe", "--cycles", "1", "--json", "--trace-out", str(trace_path)]
+    ) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["cycles"][0]["version"] == 1
+    assert {"stages", "highlights", "metrics", "metrics_delta"} <= set(data)
+    assert data["trace_out"] == str(trace_path)
+    # per-track ts monotonicity in the exported Chrome trace
+    trace = json.loads(trace_path.read_text())
+    by_tid = {}
+    for event in trace["traceEvents"]:
+        if event["ph"] == "X":
+            by_tid.setdefault(event["tid"], []).append(event["ts"])
+    for series in by_tid.values():
+        assert series == sorted(series)
 
 
 def test_unknown_command_rejected():

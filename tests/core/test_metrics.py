@@ -50,6 +50,26 @@ def test_percentile_edge_cases():
         tracker.percentile(101)
 
 
+def test_percentile_summary_sorts_once_on_large_sample():
+    """Regression: ``summary()`` on 1e5 samples must sort exactly once.
+
+    ``percentile`` used to re-sort the full sample list on every call,
+    making the three-read summary O(3 n log n); the cached order makes
+    repeat reads free until the next ``add``/``extend`` dirties it.
+    """
+    tracker = PercentileTracker()
+    tracker.extend(float((i * 7919) % 100_000) for i in range(100_000))
+    assert tracker.sort_count == 0
+    summary = tracker.summary()
+    assert tracker.sort_count == 1  # three percentile reads, one sort
+    assert summary["p99"] >= summary["avg"]
+    tracker.percentile(50.0)
+    assert tracker.sort_count == 1  # still cached
+    tracker.add(1.0)  # dirties the cache
+    tracker.percentile(50.0)
+    assert tracker.sort_count == 2
+
+
 # ------------------------------------------------------------------- Sampler
 def test_sampler_rate_series():
     sampler = ThroughputSampler(interval_s=10.0)
@@ -88,6 +108,41 @@ def test_sampler_level_series():
     sampler.prime(0.0, {"disk": 10.0})
     sampler.maybe_sample(10.0, lambda: {"disk": 25.0})
     assert sampler.level_series("disk") == [(0.0, 10.0), (10.0, 25.0)]
+
+
+def test_sampler_missing_counter_reads_as_zero():
+    """Regression: counters absent from earlier snapshots must not
+    KeyError — a counter registered mid-run has zero history."""
+    sampler = ThroughputSampler(interval_s=10.0)
+    sampler.prime(0.0, {"old": 100.0})
+    sampler.maybe_sample(10.0, lambda: {"old": 300.0, "new": 40.0})
+    sampler.maybe_sample(20.0, lambda: {"old": 500.0, "new": 90.0})
+    assert sampler.rate_series("old") == [(0.0, 20.0), (10.0, 20.0)]
+    # "new" appears only from the second snapshot on: first delta counts
+    # from 0.0 instead of raising.
+    assert sampler.rate_series("new") == [(0.0, 4.0), (10.0, 5.0)]
+    # a counter nobody ever reported is all-zero rates, not an error
+    assert sampler.rate_series("ghost") == [(0.0, 0.0), (10.0, 0.0)]
+    assert sampler.level_series("new") == [(0.0, 0.0), (10.0, 40.0), (20.0, 90.0)]
+
+
+def test_sampler_reads_from_registry():
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    box = {"bytes": 0.0}
+    registry.register("qindb.n0.bytes", lambda: box["bytes"])
+    sampler = ThroughputSampler(interval_s=10.0, registry=registry)
+    sampler.prime(0.0)
+    box["bytes"] = 500.0
+    sampler.maybe_sample(10.0)
+    assert sampler.rate_series("qindb.n0.bytes") == [(0.0, 50.0)]
+
+
+def test_sampler_without_counters_or_registry_is_config_error():
+    sampler = ThroughputSampler(interval_s=10.0)
+    with pytest.raises(ConfigError):
+        sampler.prime(0.0)
 
 
 # ----------------------------------------------------------------- mean/std

@@ -1,0 +1,101 @@
+"""Unit tests for the metrics registry and snapshots."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    MetricsRegistry,
+    get_default_registry,
+    set_default_registry,
+)
+
+
+def test_register_and_read_live():
+    registry = MetricsRegistry()
+    box = {"n": 0}
+    registry.register("qindb.n0.puts", lambda: box["n"])
+    assert registry.value("qindb.n0.puts") == 0.0
+    box["n"] = 7
+    assert registry.value("qindb.n0.puts") == 7.0  # live view, no copy
+
+
+def test_duplicate_name_rejected_unless_replace():
+    registry = MetricsRegistry()
+    registry.register("a.b", lambda: 1)
+    with pytest.raises(ConfigError):
+        registry.register("a.b", lambda: 2)
+    registry.register("a.b", lambda: 2, replace=True)
+    assert registry.value("a.b") == 2.0
+
+
+def test_invalid_names_rejected():
+    registry = MetricsRegistry()
+    for bad in ("", ".leading", "trailing."):
+        with pytest.raises(ConfigError):
+            registry.register(bad, lambda: 0)
+
+
+def test_unknown_name_read_is_config_error():
+    with pytest.raises(ConfigError):
+        MetricsRegistry().value("no.such.metric")
+
+
+def test_prefix_matching_is_segment_aware():
+    registry = MetricsRegistry()
+    registry.register_many(
+        "qindb.n0", {"puts": lambda: 1, "gets": lambda: 2}
+    )
+    registry.register("qindbx.other", lambda: 3)
+    assert registry.names("qindb") == ["qindb.n0.gets", "qindb.n0.puts"]
+    assert registry.names("qindb.n0.puts") == ["qindb.n0.puts"]
+    # "qindb" must not match "qindbx.*" mid-segment
+    assert "qindbx.other" not in registry.names("qindb")
+    assert set(registry.collect("qindb.n0")) == {
+        "qindb.n0.puts",
+        "qindb.n0.gets",
+    }
+
+
+def test_unregister_prefix():
+    registry = MetricsRegistry()
+    registry.register_many("ssd.n0", {"a": lambda: 0, "b": lambda: 0})
+    registry.register("mint.g0.puts", lambda: 0)
+    assert registry.unregister_prefix("ssd") == 2
+    assert registry.names() == ["mint.g0.puts"]
+
+
+def test_snapshot_query_and_delta():
+    registry = MetricsRegistry()
+    box = {"a": 1.0, "b": 10.0}
+    registry.register("x.a", lambda: box["a"])
+    registry.register("x.b", lambda: box["b"])
+    first = registry.snapshot(at=1.0)
+    box["a"], box["b"] = 4.0, 25.0
+    registry.register("x.c", lambda: 100.0)  # registered mid-run
+    second = registry.snapshot(at=2.0)
+    assert first.value("x.a") == 1.0
+    assert second.query("x") == {"x.a": 4.0, "x.b": 25.0, "x.c": 100.0}
+    delta = second.delta(first)
+    assert delta == {"x.a": 3.0, "x.b": 15.0, "x.c": 100.0}  # missing -> 0.0
+
+
+def test_snapshot_is_frozen_against_later_mutation():
+    registry = MetricsRegistry()
+    box = {"n": 5}
+    registry.register("c", lambda: box["n"])
+    snap = registry.snapshot()
+    box["n"] = 99
+    assert snap.value("c") == 5.0
+
+
+def test_default_registry_injectable():
+    original = get_default_registry()
+    try:
+        replacement = MetricsRegistry()
+        set_default_registry(replacement)
+        assert get_default_registry() is replacement
+        set_default_registry(None)
+        fresh = get_default_registry()
+        assert fresh is not replacement
+    finally:
+        set_default_registry(original)
