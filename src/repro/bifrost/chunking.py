@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.bifrost.signature import SIGNATURE_BYTES, signature
+from repro.bifrost.slices import INDEX_TO_KIND, KIND_TO_INDEX
 from repro.errors import ConfigError, CorruptionError
 from repro.indexing.types import IndexDataset, IndexEntry, IndexKind
 
@@ -128,39 +129,51 @@ class ChunkedDeduplicator:
         whole-value dedup); changed values ship a recipe plus only their
         novel chunks.
         """
-        output = IndexDataset(version=dataset.version)
-        result = ChunkDedupResult(dataset=output, encodings={})
+        result = ChunkDedupResult(
+            dataset=IndexDataset(version=dataset.version), encodings={}
+        )
         for kind in IndexKind:
-            for entry in dataset.of_kind(kind):
-                if entry.value is None:
-                    raise ConfigError("chunked dedup input must carry values")
-                result.total_entries += 1
-                result.bytes_before += entry.wire_bytes
-                store_key = (kind, entry.key)
-                value_signature = signature(entry.value)
-                if self._value_signatures.get(store_key) == value_signature:
-                    stripped = entry.deduplicated()
-                    output.add(stripped)
-                    result.unchanged_entries += 1
-                    result.bytes_after += stripped.wire_bytes
-                    self._value_signatures[store_key] = value_signature
-                    continue
-                self._value_signatures[store_key] = value_signature
-
-                recipe: List[bytes] = []
-                new_chunks: Dict[bytes, bytes] = {}
-                for chunk in chunk_value(entry.value, self.average_chunk_bytes):
-                    chunk_signature = signature(chunk)
-                    recipe.append(chunk_signature)
-                    if chunk_signature not in self._known_signatures:
-                        new_chunks[chunk_signature] = chunk
-                        self._known_signatures.add(chunk_signature)
-                encoding = DeltaEncodedValue(recipe=recipe, new_chunks=new_chunks)
-                result.encodings[(kind, entry.key)] = encoding
-                output.add(entry)  # the full entry still rides locally...
-                # ...but the wire carries only the delta encoding.
-                result.bytes_after += len(entry.key) + encoding.wire_bytes
+            self.process_entries(dataset.of_kind(kind), result)
         return result
+
+    def process_entries(self, entries, result: ChunkDedupResult) -> None:
+        """Stream ``entries`` through the deduplicator into ``result``.
+
+        The streaming form of :meth:`process`: callers iterate entries
+        straight out of the source dataset (no per-kind ``IndexDataset``
+        copy) and accumulate into one shared result across kinds.
+        Deduplicated output lands in ``result.dataset``; precomputed
+        entry signatures (``entry.signature``) are honoured.
+        """
+        output = result.dataset
+        for entry in entries:
+            if entry.value is None:
+                raise ConfigError("chunked dedup input must carry values")
+            result.total_entries += 1
+            result.bytes_before += entry.wire_bytes
+            store_key = (entry.kind, entry.key)
+            value_signature = entry.signature or signature(entry.value)
+            if self._value_signatures.get(store_key) == value_signature:
+                stripped = entry.deduplicated()
+                output.add(stripped)
+                result.unchanged_entries += 1
+                result.bytes_after += stripped.wire_bytes
+                continue
+            self._value_signatures[store_key] = value_signature
+
+            recipe: List[bytes] = []
+            new_chunks: Dict[bytes, bytes] = {}
+            for chunk in chunk_value(entry.value, self.average_chunk_bytes):
+                chunk_signature = signature(chunk)
+                recipe.append(chunk_signature)
+                if chunk_signature not in self._known_signatures:
+                    new_chunks[chunk_signature] = chunk
+                    self._known_signatures.add(chunk_signature)
+            encoding = DeltaEncodedValue(recipe=recipe, new_chunks=new_chunks)
+            result.encodings[store_key] = encoding
+            output.add(entry)  # the full entry still rides locally...
+            # ...but the wire carries only the delta encoding.
+            result.bytes_after += len(entry.key) + encoding.wire_bytes
 
 
 class ChunkStore:
@@ -239,13 +252,13 @@ def serialize_delta_entries(
     entry with a value must have a matching encoding and ships as its
     recipe plus novel chunks.
     """
-    kinds = list(IndexKind)
+    kind_index = KIND_TO_INDEX
     parts: List[bytes] = []
     for entry in entries:
         if entry.value is None:
             parts.append(
                 _DELTA_ENTRY.pack(
-                    len(entry.key), kinds.index(entry.kind), _MODE_UNCHANGED, 0, 0
+                    len(entry.key), kind_index[entry.kind], _MODE_UNCHANGED, 0, 0
                 )
             )
             parts.append(entry.key)
@@ -254,7 +267,7 @@ def serialize_delta_entries(
         parts.append(
             _DELTA_ENTRY.pack(
                 len(entry.key),
-                kinds.index(entry.kind),
+                kind_index[entry.kind],
                 _MODE_DELTA,
                 len(encoding.recipe),
                 len(encoding.new_chunks),
@@ -273,7 +286,7 @@ def deserialize_delta_entries(
     payload: bytes,
 ) -> Iterator[Tuple[IndexKind, bytes, Optional["DeltaEncodedValue"]]]:
     """Decode the delta wire stream: (kind, key, encoding-or-None)."""
-    kinds = list(IndexKind)
+    kinds = INDEX_TO_KIND
     offset = 0
     while offset < len(payload):
         key_len, kind_index, mode, recipe_count, new_count = (

@@ -19,18 +19,24 @@ from repro.indexing.types import IndexDataset, IndexEntry, IndexKind
 
 _ENTRY_HEADER = struct.Struct("<HlB")  # key_len, value_len (-1 = dedup), kind
 
+# Hoisted kind<->wire-index maps: the per-entry `list(IndexKind)` +
+# O(kinds) `.index()` lookup dominated serialize/deserialize profiles.
+KIND_TO_INDEX = {kind: index for index, kind in enumerate(IndexKind)}
+INDEX_TO_KIND = tuple(IndexKind)
+
 
 def serialize_entries(entries: List[IndexEntry]) -> bytes:
     """Deterministic wire encoding of a slice's entries."""
     parts: List[bytes] = []
-    kinds = list(IndexKind)
+    pack = _ENTRY_HEADER.pack
+    kind_index = KIND_TO_INDEX
     for entry in entries:
         value = entry.value
         parts.append(
-            _ENTRY_HEADER.pack(
+            pack(
                 len(entry.key),
                 -1 if value is None else len(value),
-                kinds.index(entry.kind),
+                kind_index[entry.kind],
             )
         )
         parts.append(entry.key)
@@ -41,7 +47,7 @@ def serialize_entries(entries: List[IndexEntry]) -> bytes:
 
 def deserialize_entries(payload: bytes) -> Iterator[IndexEntry]:
     """Decode the wire encoding back into entries."""
-    kinds = list(IndexKind)
+    kinds = INDEX_TO_KIND
     offset = 0
     while offset < len(payload):
         key_len, value_len, kind_index = _ENTRY_HEADER.unpack_from(payload, offset)

@@ -85,6 +85,9 @@ class DeliveryReport:
     origin_bytes_sent: int = 0
     detoured: int = 0
     late_threshold_s: float = 3600.0
+    #: the spawned delivery processes (populated by ``run=False`` calls so
+    #: a pipelined caller can drive the shared simulator itself)
+    processes: List = field(default_factory=list, repr=False)
 
     @property
     def deliveries(self) -> int:
@@ -139,11 +142,11 @@ class BifrostTransport:
         self.tracer = tracer
         self._random = random.Random(self.config.seed)
 
-    def _span(self, name: str, track: str, **attrs):
+    def _span(self, name: str, track: str, parent=None, **attrs):
         """A span on ``track``, or a no-op when tracing is off."""
         if self.tracer is None:
             return nullcontext()
-        return self.tracer.span(name, track=track, **attrs)
+        return self.tracer.span(name, track=track, parent=parent, **attrs)
 
     # ------------------------------------------------------------------
     def deliver_version(
@@ -151,27 +154,40 @@ class BifrostTransport:
         slices: List[Slice],
         on_arrival: Optional[ArrivalCallback] = None,
         run: bool = True,
+        parent_span=None,
     ) -> DeliveryReport:
         """Deliver every slice to every region's data centers.
 
         With ``run=True`` (default) the simulator is driven until all
         deliveries complete and the report is final; with ``run=False``
-        the processes are spawned and the caller drives the simulator
-        (for concurrent multi-version scenarios).
+        the processes are spawned (exposed as ``report.processes``) and
+        the caller drives the simulator — the concurrent multi-version
+        hook :meth:`~repro.core.directload.DirectLoad.run_pipelined_cycles`
+        builds on.  ``parent_span`` roots every delivery track under a
+        specific span (a version's cycle span), keeping interleaved
+        versions' traces separate.
+
+        An empty ``slices`` list is a caller bug — there is no version to
+        attribute the delivery to — and raises ``TransmissionError``
+        rather than reporting a successful no-op delivery of version 0.
         """
+        if not slices:
+            raise TransmissionError("deliver_version called with no slices")
         report = DeliveryReport(
-            version=slices[0].version if slices else 0,
+            version=slices[0].version,
             start_time=self.sim.now,
             late_threshold_s=self.config.late_threshold_s,
         )
-        processes = []
+        processes = report.processes
         if self.config.distribution == "p2p":
             regions = self.topology.regions
             for index, item in enumerate(slices):
                 seed_region = regions[index % len(regions)]
                 processes.append(
                     self.sim.process(
-                        self._deliver_p2p(item, seed_region, report, on_arrival)
+                        self._deliver_p2p(
+                            item, seed_region, report, on_arrival, parent_span
+                        )
                     )
                 )
         else:
@@ -179,7 +195,9 @@ class BifrostTransport:
                 for region in self.topology.regions:
                     processes.append(
                         self.sim.process(
-                            self._deliver_one(item, region, report, on_arrival)
+                            self._deliver_one(
+                                item, region, report, on_arrival, parent_span
+                            )
                         )
                     )
         if run:
@@ -194,6 +212,7 @@ class BifrostTransport:
         region: str,
         report: DeliveryReport,
         on_arrival: Optional[ArrivalCallback],
+        parent_span=None,
     ):
         sim = self.sim
         config = self.config
@@ -203,7 +222,10 @@ class BifrostTransport:
         stream = stream_of(item.kind)
         track = f"deliver:{region}:{item.slice_id}"
 
-        with self._span("deliver", track, slice=item.slice_id, region=region):
+        with self._span(
+            "deliver", track, parent=parent_span,
+            slice=item.slice_id, region=region,
+        ):
             attempts = 0
             while True:
                 if config.adaptive_routing:
@@ -250,7 +272,8 @@ class BifrostTransport:
             )
 
     def _fan_out(
-        self, travelling, region, generated_at, report, on_arrival, track=None
+        self, travelling, region, generated_at, report, on_arrival,
+        track=None, parent_span=None,
     ):
         """Relay group -> the region's data centers.
 
@@ -272,7 +295,8 @@ class BifrostTransport:
                 targets = self.topology.data_centers[region]
             for dc in targets:
                 with self._span(
-                    "fanout", track, dc=dc, slice=travelling.slice_id
+                    "fanout", track, parent=parent_span,
+                    dc=dc, slice=travelling.slice_id,
                 ):
                     intra = self.topology.intra_link(region, dc)
                     yield intra.transmit(travelling.size_bytes)
@@ -288,7 +312,8 @@ class BifrostTransport:
             slots.release()
 
     # ------------------------------------------------------------------
-    def _deliver_p2p(self, item, seed_region, report, on_arrival):
+    def _deliver_p2p(self, item, seed_region, report, on_arrival,
+                     parent_span=None):
         """P2P distribution: seed one region, then peer-forward.
 
         The origin uplink carries each slice once (the ~50-66% bandwidth
@@ -312,6 +337,7 @@ class BifrostTransport:
             with self._span(
                 "transmit_hop",
                 track,
+                parent=parent_span,
                 source=ORIGIN,
                 destination=seed_region,
                 slice=item.slice_id,
@@ -340,19 +366,22 @@ class BifrostTransport:
         forwards = [
             sim.process(
                 self._forward_from_seed(
-                    seed_copy, seed_region, peer, generated_at, report, on_arrival
+                    seed_copy, seed_region, peer, generated_at, report,
+                    on_arrival, parent_span,
                 )
             )
             for peer in peers
         ]
         yield from self._fan_out(
-            seed_copy, seed_region, generated_at, report, on_arrival, track
+            seed_copy, seed_region, generated_at, report, on_arrival,
+            track, parent_span,
         )
         if forwards:
             yield sim.all_of(forwards)
 
     def _forward_from_seed(
-        self, seed_copy, seed_region, peer_region, generated_at, report, on_arrival
+        self, seed_copy, seed_region, peer_region, generated_at, report,
+        on_arrival, parent_span=None,
     ):
         """Seed region -> one peer region, retrying from the seed."""
         sim = self.sim
@@ -365,6 +394,7 @@ class BifrostTransport:
             with self._span(
                 "transmit_hop",
                 track,
+                parent=parent_span,
                 source=seed_region,
                 destination=peer_region,
                 slice=seed_copy.slice_id,
@@ -386,5 +416,6 @@ class BifrostTransport:
                     report.abandoned += 1
                     return
         yield from self._fan_out(
-            travelling, peer_region, generated_at, report, on_arrival, track
+            travelling, peer_region, generated_at, report, on_arrival,
+            track, parent_span,
         )

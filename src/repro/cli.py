@@ -5,6 +5,7 @@ Usage::
     python -m repro demo            # QinDB semantics walkthrough
     python -m repro fig5            # engine write-amplification comparison
     python -m repro fig9 --days 10  # dedup-vs-update-time mini month
+    python -m repro month --pipelined  # overlapped daily update cycles
     python -m repro dedup-sweep     # bandwidth saving across dup ratios
     python -m repro observe         # traced cycle: stages + metrics
 
@@ -210,6 +211,99 @@ def _cmd_fig9(args) -> int:
     return 0
 
 
+def _make_month_system():
+    """A small generation-window-bound DirectLoad for ``repro month``.
+
+    The backbone is fast enough that a version's delivery tail is a
+    fraction of the 5 s generation window — the regime where pipelining
+    generation against delivery actually shortens the month.
+    """
+    from repro.bifrost.channels import TopologyConfig
+    from repro.core.config import DirectLoadConfig
+    from repro.core.directload import DirectLoad
+    from repro.mint.cluster import MintConfig
+
+    return DirectLoad(
+        DirectLoadConfig(
+            doc_count=80,
+            vocabulary_size=300,
+            doc_length=20,
+            summary_value_bytes=1024,
+            forward_value_bytes=256,
+            slice_bytes=32 * 1024,
+            generation_window_s=5.0,
+            topology=TopologyConfig(backbone_bps=1_000_000.0),
+            mint=MintConfig(
+                group_count=1, nodes_per_group=3,
+                node_capacity_bytes=64 * 1024 * 1024,
+            ),
+        )
+    )
+
+
+def _cmd_month(args) -> int:
+    from repro.workloads.month import MonthlyTrace, MonthlyTraceConfig
+
+    schedule = MonthlyTrace(MonthlyTraceConfig(days=args.days)).days()
+    # Version 1 is the bootstrap load; one more version per scheduled day.
+    specs = [None] + [day.mutation_rate for day in schedule]
+    system = _make_month_system()
+    if args.pipelined:
+        reports = system.run_pipelined_cycles(specs)
+        makespan_s = system.last_pipelined_makespan_s
+    else:
+        started = system.sim.now
+        reports = [system.run_update_cycle()]
+        for day in schedule:
+            reports.append(
+                system.run_update_cycle(mutation_rate=day.mutation_rate)
+            )
+        makespan_s = system.sim.now - started
+    cycles = [
+        {
+            "version": report.version,
+            "dedup_ratio": report.dedup_ratio,
+            "update_time_s": report.update_time_s,
+            "keys_delivered": report.keys_delivered,
+            "promoted": report.promoted,
+            "stages": report.stages,
+        }
+        for report in reports
+    ]
+    data = {
+        "mode": "pipelined" if args.pipelined else "serial",
+        "days": args.days,
+        "cycles": cycles,
+        "makespan_s": makespan_s,
+        "sum_update_time_s": sum(r.update_time_s for r in reports),
+        "keys_delivered": sum(r.keys_delivered for r in reports),
+    }
+
+    def render(data: dict) -> None:
+        rows = [
+            [
+                row["version"],
+                f"{row['dedup_ratio'] * 100:.0f}%",
+                f"{row['update_time_s']:.1f}s",
+                f"{row['keys_delivered']:,}",
+                "yes" if row["promoted"] else "NO",
+            ]
+            for row in data["cycles"]
+        ]
+        print(
+            render_table(
+                ["version", "dedup", "update time", "keys", "promoted"], rows
+            )
+        )
+        print(
+            f"\n{data['mode']} month: makespan {data['makespan_s']:.1f}s, "
+            f"sum of update times {data['sum_update_time_s']:.1f}s"
+        )
+
+    _emit(args, data, render)
+    return 0
+
+
 def _cmd_dedup_sweep(args) -> int:
     from repro.bifrost.dedup import Deduplicator
     from repro.indexing.types import IndexDataset, IndexEntry, IndexKind
@@ -339,6 +433,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     fig9 = commands.add_parser("fig9", help="dedup vs update time mini-month")
     fig9.add_argument("--days", type=int, default=10)
 
+    month = commands.add_parser(
+        "month", help="daily update cycles, serially or pipelined"
+    )
+    month.add_argument("--days", type=int, default=6)
+    month.add_argument(
+        "--pipelined", action="store_true",
+        help="overlap version N+1's generation with version N's delivery",
+    )
+
     dedup_sweep = commands.add_parser(
         "dedup-sweep", help="bandwidth saving across dup ratios"
     )
@@ -358,7 +461,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the Chrome trace_event JSON here",
     )
 
-    for sub in (demo, fig5, fig9, dedup_sweep, report, observe):
+    for sub in (demo, fig5, fig9, month, dedup_sweep, report, observe):
         sub.add_argument(
             "--json", action="store_true",
             help="emit machine-readable JSON instead of tables",
@@ -369,6 +472,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": _cmd_demo,
         "fig5": _cmd_fig5,
         "fig9": _cmd_fig9,
+        "month": _cmd_month,
         "dedup-sweep": _cmd_dedup_sweep,
         "report": _cmd_report,
         "observe": _cmd_observe,

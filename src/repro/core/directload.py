@@ -13,7 +13,7 @@ returns the cycle's report — the unit every Figure 9/10 experiment sweeps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.bifrost.channels import build_topology
 from repro.bifrost.chunking import ChunkedDeduplicator
@@ -37,6 +37,7 @@ from repro.indexing.vocabulary import ZipfVocabulary
 from repro.lsm.engine import LSMConfig, LSMEngine
 from repro.mint.cluster import MintCluster
 from repro.obs import MetricsRegistry, Tracer
+from repro.obs.tracer import MAIN_TRACK
 from repro.qindb.engine import QinDB, QinDBConfig
 from repro.simulation.kernel import Simulator
 
@@ -69,6 +70,19 @@ class UpdateCycleReport:
         if self.update_time_s <= 0:
             return 0.0
         return self.keys_delivered / self.update_time_s / 1e4
+
+
+@dataclass
+class _Generation:
+    """What the generation stages (build -> dedup -> slice -> schedule)
+    hand to the delivery half of a cycle."""
+
+    dataset: object
+    version: int
+    slices: List
+    dedup_ratio: float
+    saving: float
+    bytes_before: int
 
 
 class DirectLoad:
@@ -133,6 +147,9 @@ class DirectLoad:
         self.last_delivery: Optional[DeliveryReport] = None
         #: the most recent gray release (its serving map routes queries)
         self.release: Optional[GrayRelease] = None
+        #: simulated seconds the most recent :meth:`run_pipelined_cycles`
+        #: train took end to end (first build to last activation)
+        self.last_pipelined_makespan_s: float = 0.0
 
     def _engine_factory(self, node_name: str):
         capacity = self.config.mint.node_capacity_bytes
@@ -167,56 +184,11 @@ class DirectLoad:
         tracer = self.tracer
         with tracer.span("cycle") as cycle_span:
             first_version = not self.versions.live_versions
-            with tracer.span("build", first=first_version):
-                if first_version:
-                    dataset = self.pipeline.build_version()
-                else:
-                    dataset = self.pipeline.advance_and_build(mutation_rate)
-            version = dataset.version
-            cycle_span.attrs["version"] = version
-
-            chunked = (
-                self.config.dedup_enabled and self.config.dedup_mode == "chunked"
+            generation = self._generate_stages(
+                tracer.span, mutation_rate, first_version
             )
-            encodings = None
-            with tracer.span(
-                "dedup",
-                version=version,
-                mode=self.config.dedup_mode if self.config.dedup_enabled else "off",
-            ):
-                if not self.config.dedup_enabled:
-                    to_deliver = dataset
-                    dedup_ratio = 0.0
-                    saving = 0.0
-                    bytes_before = dataset.total_bytes
-                elif chunked:
-                    to_deliver, encodings, counters = self._chunk_dedup(dataset)
-                    dedup_ratio = counters["unchanged"] / max(1, counters["total"])
-                    bytes_before = counters["bytes_before"]
-                    saving = (
-                        (bytes_before - counters["bytes_after"]) / bytes_before
-                        if bytes_before
-                        else 0.0
-                    )
-                else:
-                    dedup_result: DedupResult = self.deduplicator.process(dataset)
-                    to_deliver = dedup_result.dataset
-                    dedup_ratio = dedup_result.dedup_ratio
-                    saving = dedup_result.bandwidth_saving_ratio
-                    bytes_before = dedup_result.bytes_before
-
-            with tracer.span("slice", version=version):
-                if chunked:
-                    raw_slices = self.slicer.make_delta_slices(
-                        to_deliver, encodings
-                    )
-                else:
-                    raw_slices = self.slicer.make_slices(to_deliver)
-
-            with tracer.span("schedule", slices=len(raw_slices)):
-                slices = self.scheduler.schedule(
-                    raw_slices, start_time=self.sim.now
-                )
+            version = generation.version
+            cycle_span.attrs["version"] = version
             delivered_keys = [0]
 
             def ingest(dc: str, item) -> None:
@@ -229,9 +201,11 @@ class DirectLoad:
                 ):
                     delivered_keys[0] += self.clusters[dc].ingest_slice(item)
 
-            with tracer.span("transmit", version=version, slices=len(slices)):
+            with tracer.span(
+                "transmit", version=version, slices=len(generation.slices)
+            ):
                 delivery: DeliveryReport = self.transport.deliver_version(
-                    slices, on_arrival=ingest
+                    generation.slices, on_arrival=ingest
                 )
             self.last_delivery = delivery
 
@@ -241,23 +215,13 @@ class DirectLoad:
                     for cluster in self.clusters.values():
                         cluster.drop_version(old_version)
 
-            promoted, inconsistency = self._gray_release(version, dedup_ratio)
+            promoted, inconsistency = self._gray_release(
+                version, generation.dedup_ratio
+            )
 
-            report = UpdateCycleReport(
-                version=version,
-                entries_built=dataset.entry_count,
-                dedup_ratio=dedup_ratio,
-                bandwidth_saving_ratio=saving,
-                bytes_before_dedup=bytes_before,
-                bytes_sent=delivery.bytes_sent,
-                update_time_s=delivery.update_time_s,
-                miss_ratio=delivery.miss_ratio,
-                retransmissions=delivery.retransmissions,
-                detoured=delivery.detoured,
-                keys_delivered=delivered_keys[0],
-                evicted_versions=evicted,
-                inconsistency_rate=inconsistency,
-                promoted=promoted,
+            report = self._make_report(
+                generation, delivery, delivered_keys[0], evicted,
+                inconsistency, promoted,
             )
         # The cycle span is closed now: fold its trace into the report.
         report.stages = self.tracer.stage_summary(
@@ -266,32 +230,263 @@ class DirectLoad:
         self.reports.append(report)
         return report
 
+    def run_pipelined_cycles(
+        self, specs: Sequence[Optional[float]]
+    ) -> List[UpdateCycleReport]:
+        """Run one update cycle per spec with generation pipelined
+        against delivery.
+
+        ``specs`` is one corpus mutation rate per version (``None`` uses
+        the config's default), exactly the values the same days would
+        pass to sequential :meth:`run_update_cycle` calls.  Each cycle
+        runs as a simulation process; one shared kernel drive covers all
+        of them, so version N+1's generation window opens one
+        ``generation_window_s`` after version N's did — while N's tail
+        slices are still in flight — instead of waiting for N's delivery
+        and gray release to finish.
+
+        Version safety:
+
+        * **Generation** is chained: cycle N+1's build starts exactly one
+          window after cycle N's (builds are sequential at the build DC,
+          and the corpus mutates in version order).
+        * **Finalization** (install -> evict -> gray release -> activate)
+          is chained in version order via per-version gates, and runs
+          only after that version's own deliveries all completed — so
+          the gray release gates on its own arrivals only, and
+          :meth:`VersionManager.install` always sees versions advance.
+        * **Ingestion** tolerates any interleaving: QinDB keys by
+          ``(key, version)``, and a slice of an already-retired version
+          is dropped at the cluster (see
+          :meth:`~repro.mint.cluster.MintCluster.ingest_slice`).
+
+        Tracing: each cycle's spans live on their own ``cycle:{index}``
+        track, deliveries and ingests parent under that cycle's spans
+        explicitly, and each report's stage summary folds only its own
+        cycle span's descendants — correct even when spans interleave.
+
+        Returns the per-version reports in version order; the wall of
+        simulated time the whole train took is recorded in
+        :attr:`last_pipelined_makespan_s`.
+        """
+        if not specs:
+            return []
+        sim = self.sim
+        tracer = self.tracer
+        count = len(specs)
+        # Evaluated once, up front: inside the processes version 1 only
+        # installs at its own finalize, long after cycle 2 built.
+        bootstrap = not self.versions.live_versions
+        gen_gates = [sim.event() for _ in range(count)]
+        fin_gates = [sim.event() for _ in range(count)]
+        reports: List[Optional[UpdateCycleReport]] = [None] * count
+
+        def cycle(index: int, mutation_rate: Optional[float]):
+            track = f"cycle:{index}"
+
+            def span(name: str, parent=None, **attrs):
+                return tracer.span(name, track=track, parent=parent, **attrs)
+
+            yield gen_gates[index]
+            with span("cycle", pipelined=True) as cycle_span:
+                first = bootstrap and index == 0
+                generation = self._generate_stages(span, mutation_rate, first)
+                version = generation.version
+                cycle_span.attrs["version"] = version
+                delivered_keys = [0]
+
+                def ingest(dc: str, item) -> None:
+                    with tracer.span(
+                        "ingest",
+                        track=f"ingest:{dc}",
+                        parent=transmit_span,
+                        dc=dc,
+                        slice=item.slice_id,
+                        entries=len(item.entries),
+                    ):
+                        delivered_keys[0] += self.clusters[dc].ingest_slice(
+                            item
+                        )
+
+                with span(
+                    "transmit", version=version, slices=len(generation.slices)
+                ) as transmit_span:
+                    delivery = self.transport.deliver_version(
+                        generation.slices,
+                        on_arrival=ingest,
+                        run=False,
+                        parent_span=transmit_span,
+                    )
+                    # One generation window later the build DC is free:
+                    # open the next version's window while this one's
+                    # deliveries keep flowing.
+                    yield sim.timeout(self.config.generation_window_s)
+                    if index + 1 < count:
+                        gen_gates[index + 1].succeed()
+                    yield sim.all_of(delivery.processes)
+                self.last_delivery = delivery
+
+                if index > 0:
+                    yield fin_gates[index - 1]
+                with span("evict"):
+                    evicted = self.versions.install(version)
+                    for old_version in evicted:
+                        for cluster in self.clusters.values():
+                            cluster.drop_version(old_version)
+
+                promoted, inconsistency = self._gray_release(
+                    version, generation.dedup_ratio, track=track
+                )
+
+                report = self._make_report(
+                    generation, delivery, delivered_keys[0], evicted,
+                    inconsistency, promoted,
+                )
+            report.stages = tracer.stage_summary(root_id=cycle_span.span_id)
+            reports[index] = report
+            self.reports.append(report)
+            fin_gates[index].succeed()
+
+        processes = [
+            sim.process(cycle(index, spec)) for index, spec in enumerate(specs)
+        ]
+        gen_gates[0].succeed()
+        started = sim.now
+        sim.run(until=sim.all_of(processes))
+        self.last_pipelined_makespan_s = sim.now - started
+        return [report for report in reports if report is not None]
+
+    # ------------------------------------------------------------------
+    def _generate_stages(
+        self, span, mutation_rate: Optional[float], first_version: bool
+    ) -> _Generation:
+        """Build -> dedup -> slice -> schedule, traced via ``span``.
+
+        ``span`` opens tracer spans on the caller's track (the main
+        track for the serial cycle, a per-version ``cycle:{i}`` track
+        for pipelined ones); the stage names and order are identical
+        either way.
+        """
+        with span("build", first=first_version):
+            if first_version:
+                dataset = self.pipeline.build_version()
+            else:
+                dataset = self.pipeline.advance_and_build(mutation_rate)
+        version = dataset.version
+
+        chunked = (
+            self.config.dedup_enabled and self.config.dedup_mode == "chunked"
+        )
+        encodings = None
+        with span(
+            "dedup",
+            version=version,
+            mode=self.config.dedup_mode if self.config.dedup_enabled else "off",
+        ):
+            if not self.config.dedup_enabled:
+                to_deliver = dataset
+                dedup_ratio = 0.0
+                saving = 0.0
+                bytes_before = dataset.total_bytes
+            elif chunked:
+                to_deliver, encodings, counters = self._chunk_dedup(dataset)
+                dedup_ratio = counters["unchanged"] / max(1, counters["total"])
+                bytes_before = counters["bytes_before"]
+                saving = (
+                    (bytes_before - counters["bytes_after"]) / bytes_before
+                    if bytes_before
+                    else 0.0
+                )
+            else:
+                dedup_result: DedupResult = self.deduplicator.process(dataset)
+                to_deliver = dedup_result.dataset
+                dedup_ratio = dedup_result.dedup_ratio
+                saving = dedup_result.bandwidth_saving_ratio
+                bytes_before = dedup_result.bytes_before
+
+        with span("slice", version=version):
+            if chunked:
+                raw_slices = self.slicer.make_delta_slices(
+                    to_deliver, encodings
+                )
+            else:
+                raw_slices = self.slicer.make_slices(to_deliver)
+
+        with span("schedule", slices=len(raw_slices)):
+            slices = self.scheduler.schedule(raw_slices, start_time=self.sim.now)
+        return _Generation(
+            dataset=dataset,
+            version=version,
+            slices=slices,
+            dedup_ratio=dedup_ratio,
+            saving=saving,
+            bytes_before=bytes_before,
+        )
+
+    def _make_report(
+        self,
+        generation: _Generation,
+        delivery: DeliveryReport,
+        keys_delivered: int,
+        evicted: List[int],
+        inconsistency: float,
+        promoted: bool,
+    ) -> UpdateCycleReport:
+        return UpdateCycleReport(
+            version=generation.version,
+            entries_built=generation.dataset.entry_count,
+            dedup_ratio=generation.dedup_ratio,
+            bandwidth_saving_ratio=generation.saving,
+            bytes_before_dedup=generation.bytes_before,
+            bytes_sent=delivery.bytes_sent,
+            update_time_s=delivery.update_time_s,
+            miss_ratio=delivery.miss_ratio,
+            retransmissions=delivery.retransmissions,
+            detoured=delivery.detoured,
+            keys_delivered=keys_delivered,
+            evicted_versions=evicted,
+            inconsistency_rate=inconsistency,
+            promoted=promoted,
+        )
+
     # ------------------------------------------------------------------
     def _chunk_dedup(self, dataset):
-        """Delta-encode each index family against its own chunk history."""
+        """Delta-encode each index family against its own chunk history.
+
+        Entries stream straight out of the source dataset into each
+        family's deduplicator — one shared result dataset, no per-kind
+        ``IndexDataset`` staging copies.
+        """
+        from repro.bifrost.chunking import ChunkDedupResult
         from repro.indexing.types import IndexDataset
 
-        to_deliver = IndexDataset(version=dataset.version)
-        encodings = {}
-        counters = {"total": 0, "unchanged": 0, "bytes_before": 0, "bytes_after": 0}
+        result = ChunkDedupResult(
+            dataset=IndexDataset(version=dataset.version), encodings={}
+        )
         for kind in IndexKind:
-            sub = IndexDataset(version=dataset.version)
-            for entry in dataset.of_kind(kind):
-                sub.add(entry)
-            result = self.chunk_dedupers[kind].process(sub)
-            for entry in result.dataset.of_kind(kind):
-                to_deliver.add(entry)
-            encodings.update(result.encodings)
-            counters["total"] += result.total_entries
-            counters["unchanged"] += result.unchanged_entries
-            counters["bytes_before"] += result.bytes_before
-            counters["bytes_after"] += result.bytes_after
-        return to_deliver, encodings, counters
+            self.chunk_dedupers[kind].process_entries(
+                dataset.of_kind(kind), result
+            )
+        counters = {
+            "total": result.total_entries,
+            "unchanged": result.unchanged_entries,
+            "bytes_before": result.bytes_before,
+            "bytes_after": result.bytes_after,
+        }
+        return result.dataset, result.encodings, counters
 
-    def _gray_release(self, version: int, dedup_ratio: float) -> tuple[bool, float]:
-        """Advance the gray DC, measure, then promote or roll back."""
+    def _gray_release(
+        self, version: int, dedup_ratio: float, track: str = MAIN_TRACK
+    ) -> tuple[bool, float]:
+        """Advance the gray DC, measure, then promote or roll back.
+
+        The latency probe samples only keys ``version`` itself ingested
+        (``cluster.version_keys[version]``) — the gray gate judges a
+        version on its own arrivals, never a concurrent neighbour's.
+        """
         with self.tracer.span(
-            "gray_release", version=version, gray_dc=self.config.gray_dc
+            "gray_release", track=track,
+            version=version, gray_dc=self.config.gray_dc,
         ) as span:
             release = GrayRelease(
                 self.config.gray_dc, self.config.release_thresholds
@@ -314,7 +509,7 @@ class DirectLoad:
                 p99_latency_s=p99,
             )
             if release.observe(observation):
-                with self.tracer.span("activate", version=version):
+                with self.tracer.span("activate", track=track, version=version):
                     release.promote()
                     self.versions.activate(version)
                 span.attrs["outcome"] = "promoted"

@@ -78,6 +78,12 @@ class MintCluster:
         self.chunk_store = ChunkStore()
         #: per-version chunk recipes, released when the version drops
         self._version_recipes: Dict[int, List[List[bytes]]] = {}
+        #: versions already dropped; a straggler slice of one of these
+        #: (still in flight when the version retired) must be discarded,
+        #: never ingested — the pipelined engine's version-order guard
+        self._retired_versions: set = set()
+        #: slices discarded by the retirement guard
+        self.stale_slices_dropped = 0
         #: optional trace track (``obs.TraceTrack``) for ingest spans
         self.trace = None
 
@@ -140,7 +146,16 @@ class MintCluster:
         entries are stored value-less — QinDB's GET traceback resolves
         them against the previous version.  Delta slices are reassembled
         against this data center's chunk store.
+
+        A slice of an already-retired version (its keys were dropped
+        while this copy was still in flight) is discarded whole: writing
+        it would resurrect keys no version map references, and under
+        concurrent multi-version delivery could clobber GC accounting a
+        newer version relies on.
         """
+        if item.version in self._retired_versions:
+            self.stale_slices_dropped += 1
+            return 0
         if item.is_delta:
             return self._ingest_delta(item)
         batch = [
@@ -172,15 +187,30 @@ class MintCluster:
 
     def drop_version(self, version: int) -> int:
         """Delete every key ingested under ``version`` (oldest-version
-        removal when more than four versions persist)."""
+        removal when more than four versions persist).
+
+        Keys partition by group and delete as one engine batch per node
+        (mirroring :meth:`put_batch`), so eviction — which the pipelined
+        engine runs while newer versions' slices are still landing —
+        costs a handful of batched passes instead of a delete per key
+        per replica.  The version is marked retired first, so any of its
+        slices still in flight are dropped on arrival instead of
+        re-ingesting keys this deletion just removed.
+        """
+        self._retired_versions.add(version)
         keys = self.version_keys.pop(version, [])
-        dropped = 0
+        by_group: Dict[int, List[tuple]] = {}
         for key in keys:
-            self.delete(key, version)
-            dropped += 1
+            by_group.setdefault(self.group_for(key).group_id, []).append(
+                (key, version)
+            )
+        for group in self.groups:
+            batch = by_group.get(group.group_id)
+            if batch:
+                group.delete_batch(batch)
         for recipe in self._version_recipes.pop(version, []):
             self.chunk_store.release(recipe)
-        return dropped
+        return len(keys)
 
     def query(self, kind: IndexKind, key: bytes, version: int) -> bytes:
         """Front-end read of one index entry."""
@@ -353,6 +383,7 @@ class MintCluster:
             "put_batches": 0,
             "batched_puts": 0,
             "device_write_ops": 0,
+            "stale_slices_dropped": self.stale_slices_dropped,
         }
         gets_per_node: Dict[str, int] = {}
         for node in self.all_nodes:

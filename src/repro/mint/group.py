@@ -203,6 +203,33 @@ class NodeGroup:
                 continue
         return deleted
 
+    def delete_batch(self, items) -> int:
+        """Delete ``(key, version)`` pairs, one engine batch per node.
+
+        The batched eviction path: items partition by replica set and
+        each node takes its sub-batch as a single
+        :meth:`StorageNode.delete_batch` call.  As with :meth:`delete`,
+        a down node is skipped (the version is gone fleet-wide anyway);
+        returns the total replica deletions performed.
+        """
+        if not items:
+            return 0
+        per_node: Dict[str, List] = {}
+        for item in items:
+            for node in self.replicas_for(item[0]):
+                per_node.setdefault(node.name, []).append(item)
+        deleted = 0
+        for node in self.nodes:
+            sub_batch = per_node.get(node.name)
+            if not sub_batch:
+                continue
+            try:
+                node.delete_batch(sub_batch)
+                deleted += len(sub_batch)
+            except NodeDownError:
+                continue
+        return deleted
+
     def scan(self, start_key: bytes, end_key: bytes):
         """Range-scan the group: the union of every live node's items.
 

@@ -70,6 +70,23 @@ class StorageNode:
         self.engine.delete(key, version)
         self.deletes += 1
 
+    def delete_batch(self, items) -> None:
+        """Delete a batch of ``(key, version)`` pairs.
+
+        Mirrors :meth:`put_batch`: QinDB takes the whole batch in one
+        engine call (coalesced tombstone appends, one GC/checkpoint
+        poll); engines without a batch path fall back to per-key
+        deletes.
+        """
+        self._check_up()
+        engine_batch = getattr(self.engine, "delete_batch", None)
+        if engine_batch is not None:
+            engine_batch(items)
+        else:
+            for key, version in items:
+                self.engine.delete(key, version)
+        self.deletes += len(items)
+
     def exists(self, key: bytes, version: int) -> bool:
         self._check_up()
         return self.engine.exists(key, version)

@@ -85,17 +85,20 @@ class _SpanContext:
     """
 
     def __init__(self, tracer: "Tracer", name: str, track: str,
-                 clock: Clock, attrs: Dict[str, object]) -> None:
+                 clock: Clock, attrs: Dict[str, object],
+                 parent: Optional[Span] = None) -> None:
         self._tracer = tracer
         self._name = name
         self._track = track
         self._clock = clock
         self._attrs = attrs
+        self._parent = parent
         self.span: Optional[Span] = None
 
     def __enter__(self) -> Span:
         self.span = self._tracer._open(
-            self._name, self._track, self._clock(), self._attrs
+            self._name, self._track, self._clock(), self._attrs,
+            parent=self._parent,
         )
         return self.span
 
@@ -118,8 +121,12 @@ class TraceTrack:
         self.name = name
         self._clock = clock
 
-    def span(self, name: str, **attrs) -> _SpanContext:
-        return _SpanContext(self.tracer, name, self.name, self._clock, attrs)
+    def span(
+        self, name: str, parent: Optional[Span] = None, **attrs
+    ) -> _SpanContext:
+        return _SpanContext(
+            self.tracer, name, self.name, self._clock, attrs, parent=parent
+        )
 
 
 class Tracer:
@@ -135,9 +142,23 @@ class Tracer:
         self._next_id = 1
 
     # ------------------------------------------------------------------
-    def span(self, name: str, track: str = MAIN_TRACK, **attrs) -> _SpanContext:
-        """Open a span on ``track`` (default: the main pipeline track)."""
-        return _SpanContext(self, name, track, self._clock, attrs)
+    def span(
+        self,
+        name: str,
+        track: str = MAIN_TRACK,
+        parent: Optional[Span] = None,
+        **attrs,
+    ) -> _SpanContext:
+        """Open a span on ``track`` (default: the main pipeline track).
+
+        ``parent`` explicitly parents the span when it opens a *fresh*
+        track (its open-stack is empty) — how concurrent multi-version
+        pipelines keep each delivery/ingest track under the right
+        version's cycle span instead of whatever main happens to have
+        open.  A nested span (non-empty stack) always parents to the
+        track's innermost open span; ``parent`` is ignored there.
+        """
+        return _SpanContext(self, name, track, self._clock, attrs, parent=parent)
 
     def track(self, name: str, clock=None) -> TraceTrack:
         """A handle for opening spans on one named track.
@@ -163,9 +184,11 @@ class Tracer:
 
     # ------------------------------------------------------------------
     def _open(self, name: str, track: str, at: float,
-              attrs: Dict[str, object]) -> Span:
+              attrs: Dict[str, object],
+              parent: Optional[Span] = None) -> Span:
         stack = self._open_stacks.setdefault(track, [])
-        parent: Optional[Span] = stack[-1] if stack else None
+        explicit = parent if not stack else None
+        parent = stack[-1] if stack else explicit
         if parent is None and track != MAIN_TRACK:
             # A fresh track's root span nests under whatever pipeline
             # stage is currently open — unless the track runs on its own

@@ -373,6 +373,50 @@ class QinDB:
         # periodic checkpoint the same way a put-heavy one does.
         self._maybe_checkpoint()
 
+    def delete_batch(self, items: Sequence[Tuple[bytes, int]]) -> None:
+        """Flag a batch of ``(key, version)`` items deleted in one pass.
+
+        The batched eviction path (dropping a retired index version
+        deletes every key it ingested): all items are validated before
+        any state changes — a missing or already-deleted item (including
+        a duplicate within the batch) raises :class:`KeyNotFoundError`
+        with the engine untouched — then the flags and GC accounting
+        apply and the tombstones append back-to-back through
+        ``append_batch``, coalescing their page programs the same way
+        :meth:`put_batch` does.  CPU charging and the GC/checkpoint
+        polls run once per batch.
+        """
+        self._check_open()
+        if not items:
+            return
+        resolved: List[IndexItem] = []
+        seen: set = set()
+        for key, version in items:
+            item = self.memtable.get(key, version)
+            if item is None or item.deleted or (key, version) in seen:
+                raise KeyNotFoundError(f"no live item for {key!r}/{version}")
+            seen.add((key, version))
+            resolved.append(item)
+        tombstones: List[Record] = []
+        for (key, version), item in zip(items, resolved):
+            item.deleted = True
+            self.gc_table.record_dead(
+                item.location.segment_id, item.location.length
+            )
+            tombstones.append(
+                Record(
+                    RecordType.DELETE, key, version,
+                    sequence=self._next_sequence(),
+                )
+            )
+        locations = self.aofs.append_batch(tombstones)
+        for location in locations:
+            self.gc_table.record_appended(location.segment_id, location.length)
+            self.gc_table.record_dead(location.segment_id, location.length)
+        self._charge_cpu()
+        self._maybe_gc()
+        self._maybe_checkpoint()
+
     def exists(self, key: bytes, version: int) -> bool:
         """Whether a live (non-deleted) item exists for (key, version)."""
         self._check_open()

@@ -12,21 +12,28 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)
 class MonthlyTraceConfig:
-    """Shape of the synthesized month."""
+    """Shape of the synthesized month.
+
+    ``dip_day``/``peak_day`` default to the paper's day 3 and day 15,
+    clamped into the schedule for shorter runs (a 10-day trace peaks on
+    day 10).  An *explicit* day outside ``[1, days]`` is a configuration
+    error — it used to be accepted silently, producing a month with the
+    paper's 23% dip quietly missing.
+    """
 
     days: int = 30
     min_dedup: float = 0.23
     max_dedup: float = 0.80
     jitter: float = 0.05
-    dip_day: int = 3  # the early-month 23% dip
-    peak_day: int = 15  # the mid-month ~80% peak
+    dip_day: Optional[int] = None  # the early-month 23% dip (default day 3)
+    peak_day: Optional[int] = None  # the mid-month ~80% peak (default day 15)
     seed: int = 9
 
     def __post_init__(self) -> None:
@@ -36,6 +43,14 @@ class MonthlyTraceConfig:
             raise ConfigError("need 0 <= min_dedup < max_dedup <= 1")
         if not 0.0 <= self.jitter < 0.5:
             raise ConfigError("jitter must be in [0, 0.5)")
+        for name, default in (("dip_day", 3), ("peak_day", 15)):
+            value = getattr(self, name)
+            if value is None:
+                object.__setattr__(self, name, min(default, self.days))
+            elif not 1 <= value <= self.days:
+                raise ConfigError(
+                    f"{name}={value} is outside the schedule [1, {self.days}]"
+                )
 
 
 @dataclass(frozen=True)
@@ -69,10 +84,12 @@ class MonthlyTrace:
             phase = (day - config.peak_day) / config.days * 2.0 * math.pi
             base = mid + amplitude * math.cos(phase)
             noisy = base + self._random.uniform(-config.jitter, config.jitter)
-            if day == config.dip_day:
-                noisy = config.min_dedup
+            # Dip after peak: when clamping lands both on the same day
+            # (a days<=3 trace), the paper's hard 23% dip wins.
             if day == config.peak_day:
                 noisy = config.max_dedup
+            if day == config.dip_day:
+                noisy = config.min_dedup
             ratio = min(config.max_dedup, max(config.min_dedup, noisy))
             schedule.append(DaySpec(day=day, dedup_ratio=ratio))
         return schedule

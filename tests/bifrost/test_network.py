@@ -12,7 +12,7 @@ from repro.bifrost.monitor import NetworkMonitor
 from repro.bifrost.scheduler import StreamScheduler
 from repro.bifrost.slices import Slice
 from repro.bifrost.transport import BifrostTransport, TransportConfig
-from repro.errors import ConfigError, RoutingError
+from repro.errors import ConfigError, RoutingError, TransmissionError
 from repro.indexing.types import IndexEntry, IndexKind
 from repro.simulation.kernel import Simulator
 
@@ -146,6 +146,30 @@ def test_scheduler_validation():
 
 
 # ----------------------------------------------------------------- transport
+def test_deliver_version_rejects_empty_slice_list(sim, topology):
+    # An empty delivery used to silently report version 0 with zero
+    # deliveries; it now fails loudly — the caller forgot to slice.
+    transport = BifrostTransport(topology)
+    with pytest.raises(TransmissionError):
+        transport.deliver_version([])
+
+
+def test_deliver_version_run_false_defers_to_caller(sim, topology):
+    transport = BifrostTransport(topology)
+    arrivals = []
+    report = transport.deliver_version(
+        [make_slice("s1", kind=IndexKind.INVERTED)],
+        on_arrival=lambda dc, s: arrivals.append(dc),
+        run=False,
+    )
+    # Nothing moved yet: the caller owns the clock.
+    assert arrivals == []
+    assert report.processes
+    sim.run(until=sim.all_of(report.processes))
+    assert sorted(arrivals) == sorted(topology.all_data_centers())
+    assert report.deliveries == 6
+
+
 def test_transport_delivers_to_every_data_center(sim, topology):
     transport = BifrostTransport(topology, config=TransportConfig())
     arrivals = []

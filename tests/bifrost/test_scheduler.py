@@ -1,0 +1,70 @@
+"""Focused coverage for :class:`StreamScheduler.schedule`.
+
+The paper's constraint (2.2): every stream must stay busy across the
+whole generation window — relay nodes revoke bandwidth from idle
+streams — so the summary stream and the inverted stream must start
+together and end together regardless of how many slices each carries.
+"""
+
+import pytest
+
+from repro.bifrost.channels import stream_of
+from repro.bifrost.scheduler import StreamScheduler
+from repro.bifrost.slices import Slice
+from repro.errors import ConfigError
+from repro.indexing.types import IndexEntry, IndexKind
+
+
+def make_slice(slice_id, kind, version=1):
+    return Slice.pack(
+        slice_id, version, kind, [IndexEntry(kind, b"key", b"value")]
+    )
+
+
+def test_schedule_empty_input():
+    assert StreamScheduler(5.0).schedule([]) == []
+
+
+def test_schedule_single_slice_sits_at_start():
+    item = make_slice("only", IndexKind.FORWARD)
+    out = StreamScheduler(5.0).schedule([item], start_time=42.0)
+    assert out == [item]
+    assert item.available_at == 42.0
+
+
+def test_schedule_zero_window_releases_everything_at_start():
+    slices = [make_slice(f"s{i}", IndexKind.INVERTED) for i in range(4)]
+    out = StreamScheduler(0.0).schedule(slices, start_time=7.0)
+    assert [s.available_at for s in out] == [7.0] * 4
+
+
+def test_streams_start_and_end_together():
+    # Unequal stream sizes: 3 summary slices vs 5 inverted-stream slices
+    # (forward rides the inverted stream).
+    slices = [make_slice(f"sum{i}", IndexKind.SUMMARY) for i in range(3)]
+    slices += [make_slice(f"inv{i}", IndexKind.INVERTED) for i in range(3)]
+    slices += [make_slice(f"fwd{i}", IndexKind.FORWARD) for i in range(2)]
+    StreamScheduler(10.0).schedule(slices, start_time=100.0)
+
+    by_stream = {}
+    for item in slices:
+        by_stream.setdefault(stream_of(item.kind), []).append(item.available_at)
+    assert set(by_stream) == {"summary", "inverted"}
+    for times in by_stream.values():
+        assert min(times) == 100.0  # starts together
+        assert max(times) == 110.0  # ends together
+    # Within a stream, slices spread uniformly over the window.
+    assert sorted(by_stream["summary"]) == pytest.approx([100.0, 105.0, 110.0])
+
+
+def test_schedule_returns_sorted_by_time_then_id():
+    slices = [make_slice(f"s{i}", IndexKind.FORWARD) for i in range(3)]
+    out = StreamScheduler(8.0).schedule(list(reversed(slices)), start_time=0.0)
+    assert [(s.available_at, s.slice_id) for s in out] == sorted(
+        (s.available_at, s.slice_id) for s in slices
+    )
+
+
+def test_negative_window_rejected():
+    with pytest.raises(ConfigError):
+        StreamScheduler(-1.0)

@@ -91,6 +91,41 @@ def test_observe_json(capsys, tmp_path):
         assert series == sorted(series)
 
 
+def test_month_command_serial(capsys):
+    assert main(["month", "--days", "2"]) == 0
+    output = capsys.readouterr().out
+    assert "serial" in output and "month" in output
+    assert "makespan" in output
+
+
+def test_month_command_pipelined_json(capsys):
+    assert main(["month", "--days", "2", "--pipelined", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["mode"] == "pipelined"
+    assert data["days"] == 2
+    assert len(data["cycles"]) == 3  # bootstrap + 2 days
+    assert [c["version"] for c in data["cycles"]] == [1, 2, 3]
+    # Overlap shortens the month below the serial sum of update times.
+    assert data["makespan_s"] < data["sum_update_time_s"]
+    # Every cycle carries its own stage breakdown even though they ran
+    # interleaved on one kernel.
+    for cycle in data["cycles"]:
+        stages = {row["stage"] for row in cycle["stages"]}
+        assert {"build", "transmit", "gray_release"} <= stages
+
+
+def test_month_serial_and_pipelined_agree_on_outcome(capsys):
+    assert main(["month", "--days", "2", "--json"]) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert main(["month", "--days", "2", "--pipelined", "--json"]) == 0
+    pipelined = json.loads(capsys.readouterr().out)
+    assert serial["mode"] == "serial"
+    assert serial["keys_delivered"] == pipelined["keys_delivered"]
+    serial_ratios = [c["dedup_ratio"] for c in serial["cycles"]]
+    pipelined_ratios = [c["dedup_ratio"] for c in pipelined["cycles"]]
+    assert serial_ratios == pytest.approx(pipelined_ratios)
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -1,0 +1,130 @@
+"""System tests for the pipelined update-cycle engine.
+
+``run_pipelined_cycles`` overlaps version N+1's generation stages with
+version N's delivery tail; these tests pin the contract: the result must
+be byte-identical to the serial month — same versions, same dedup
+ratios, same keys, same fleet state — only faster, and every report's
+stage summary must fold only its own cycle's spans even while cycles
+interleave on the shared kernel.
+"""
+
+import pytest
+
+from repro.bifrost.channels import TopologyConfig
+from repro.core.config import DirectLoadConfig
+from repro.core.directload import DirectLoad
+from repro.mint.cluster import MintConfig
+
+SPECS = [None, 0.4, 0.25, 0.5]  # bootstrap + three daily updates
+
+
+def small_config(**overrides):
+    defaults = dict(
+        doc_count=40,
+        vocabulary_size=300,
+        doc_length=16,
+        summary_value_bytes=512,
+        forward_value_bytes=128,
+        slice_bytes=32 * 1024,
+        generation_window_s=5.0,
+        # Generation-window-bound: the tail past the window is short, so
+        # the overlap is where the makespan shrinks.
+        topology=TopologyConfig(backbone_bps=2_000_000.0),
+        mint=MintConfig(
+            group_count=1, nodes_per_group=3, node_capacity_bytes=48 * 1024 * 1024
+        ),
+    )
+    defaults.update(overrides)
+    return DirectLoadConfig(**defaults)
+
+
+def final_state(system):
+    state = {}
+    for dc, cluster in sorted(system.clusters.items()):
+        state[dc] = {
+            version: sorted(set(keys))
+            for version, keys in cluster.version_keys.items()
+        }
+    return state
+
+
+@pytest.fixture(scope="module")
+def pair():
+    serial = DirectLoad(small_config())
+    serial_started = serial.sim.now
+    serial_reports = [serial.run_update_cycle()]
+    for rate in SPECS[1:]:
+        serial_reports.append(serial.run_update_cycle(mutation_rate=rate))
+    serial_makespan = serial.sim.now - serial_started
+
+    pipelined = DirectLoad(small_config())
+    pipelined_reports = pipelined.run_pipelined_cycles(SPECS)
+    return serial, serial_reports, serial_makespan, pipelined, pipelined_reports
+
+
+def test_empty_specs_is_a_no_op():
+    system = DirectLoad(small_config())
+    assert system.run_pipelined_cycles([]) == []
+    assert system.last_pipelined_makespan_s == 0.0
+
+
+def test_pipelined_reports_match_serial(pair):
+    _, serial_reports, _, _, pipelined_reports = pair
+    assert [r.version for r in pipelined_reports] == [1, 2, 3, 4]
+    for serial_report, pipe_report in zip(serial_reports, pipelined_reports):
+        assert pipe_report.version == serial_report.version
+        assert pipe_report.dedup_ratio == pytest.approx(serial_report.dedup_ratio)
+        assert pipe_report.keys_delivered == serial_report.keys_delivered
+        assert pipe_report.promoted == serial_report.promoted
+        assert pipe_report.evicted_versions == serial_report.evicted_versions
+
+
+def test_pipelined_fleet_state_matches_serial(pair):
+    serial, _, _, pipelined, _ = pair
+    assert final_state(pipelined) == final_state(serial)
+    assert pipelined.fleet_stats()["stale_slices_dropped"] == 0
+
+
+def test_pipelined_makespan_beats_serial(pair):
+    _, serial_reports, serial_makespan, pipelined, _ = pair
+    serial_sum = sum(r.update_time_s for r in serial_reports)
+    assert serial_makespan == pytest.approx(serial_sum, rel=1e-9)
+    assert pipelined.last_pipelined_makespan_s < serial_sum
+
+
+def test_cycles_actually_overlap(pair):
+    """Version N+1's build starts before version N's delivery ends."""
+    _, _, _, pipelined, _ = pair
+    spans = {}
+    for span in pipelined.tracer.spans:
+        if span.name == "cycle":
+            spans[span.attrs["version"]] = span
+    assert spans[2].start_s < spans[1].end_s
+    assert spans[3].start_s < spans[2].end_s
+    # ...but versions still finalize in order.
+    assert spans[1].end_s <= spans[2].end_s <= spans[3].end_s
+
+
+def test_stage_summaries_stay_per_version(pair):
+    _, _, _, _, pipelined_reports = pair
+    for report in pipelined_reports:
+        rows = {row["stage"]: row for row in report.stages}
+        # The generation stages appear exactly once per cycle.
+        for stage in ("build", "dedup", "slice", "schedule", "transmit"):
+            assert rows[stage]["count"] == 1, (report.version, stage)
+        # The delivery fan-out belongs to this cycle's summary, not a
+        # neighbour's: transmit wall time is this version's update time.
+        assert rows["transmit"]["total_s"] == pytest.approx(
+            report.update_time_s, rel=0.05
+        )
+        assert "gray_release" in rows and "activate" in rows
+
+
+def test_reports_append_in_version_order(pair):
+    _, _, _, pipelined, pipelined_reports = pair
+    assert pipelined.reports == pipelined_reports
+
+
+def test_queries_serve_active_version_after_pipelined_month(pair):
+    _, _, _, pipelined, pipelined_reports = pair
+    assert pipelined.versions.active_version == pipelined_reports[-1].version

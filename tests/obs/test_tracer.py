@@ -66,6 +66,36 @@ def test_track_nested_spans_parent_within_track():
     assert hop.parent_id == outer.span_id
 
 
+def test_explicit_parent_crosses_tracks():
+    """A track root can declare its parent explicitly — how delivery
+    spans attach to their own version's transmit span when several
+    pipelined cycles share the kernel."""
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    with tracer.span("cycle", track="cycle:1") as cycle_one:
+        with tracer.span("transmit", track="cycle:1") as transmit_one:
+            with tracer.span("cycle", track="cycle:0"):
+                pass  # another cycle is open concurrently
+            deliver = tracer.track("deliver:north:0")
+            with deliver.span("deliver", parent=transmit_one) as span:
+                pass
+    assert span.parent_id == transmit_one.span_id
+    assert cycle_one.parent_id is None
+
+
+def test_explicit_parent_ignored_when_track_stack_is_open():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    with tracer.span("elsewhere") as elsewhere:
+        track = tracer.track("deliver:r:0")
+        with track.span("deliver") as outer:
+            # Nested span: the track's own stack wins over the explicit
+            # parent — children never escape their enclosing span.
+            with track.span("transmit_hop", parent=elsewhere) as hop:
+                pass
+    assert hop.parent_id == outer.span_id
+
+
 def test_foreign_clock_track_stays_parentless():
     device = FakeClock()
     device.now = 1000.0  # device clock far ahead of sim clock

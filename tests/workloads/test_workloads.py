@@ -158,6 +158,36 @@ def test_month_validation():
         MonthlyTraceConfig(min_dedup=0.9, max_dedup=0.5)
 
 
+def test_month_rejects_explicit_days_outside_schedule():
+    # An explicit dip/peak day outside [1, days] used to be silently
+    # ignored (the paper's 23% dip just never happened); it now raises.
+    with pytest.raises(ConfigError):
+        MonthlyTraceConfig(days=10, dip_day=11)
+    with pytest.raises(ConfigError):
+        MonthlyTraceConfig(days=10, peak_day=0)
+    with pytest.raises(ConfigError):
+        MonthlyTraceConfig(days=10, peak_day=-3)
+
+
+def test_month_default_days_clamp_to_short_schedules():
+    config = MonthlyTraceConfig(days=8)
+    assert config.dip_day == 3 and config.peak_day == 8
+    days = MonthlyTrace(config).days()
+    assert days[2].dedup_ratio == pytest.approx(0.23)
+    assert days[7].dedup_ratio == pytest.approx(0.80)
+    # When both defaults clamp onto the same day, the hard dip wins.
+    tiny = MonthlyTraceConfig(days=2)
+    assert tiny.dip_day == tiny.peak_day == 2
+    assert MonthlyTrace(tiny).days()[1].dedup_ratio == pytest.approx(0.23)
+
+
+def test_month_explicit_days_are_honored():
+    config = MonthlyTraceConfig(days=12, dip_day=5, peak_day=9)
+    days = MonthlyTrace(config).days()
+    assert days[4].dedup_ratio == pytest.approx(0.23)
+    assert days[8].dedup_ratio == pytest.approx(0.80)
+
+
 def test_replay_pacing_holds_the_offered_rate():
     """With pacing, the device-clock write rate tracks the offered rate
     when the engine can keep up."""
