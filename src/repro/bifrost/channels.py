@@ -142,6 +142,8 @@ class Topology:
             return {
                 "bytes": lambda: link.bytes_sent,
                 "transfers": lambda: link.transfer_count,
+                "delivery_errors": lambda: link.delivery_failures,
+                "partitioned": lambda: 1.0 if link.partitioned else 0.0,
             }
 
         for (source, destination), link in self.backbone.items():
@@ -153,6 +155,66 @@ class Topology:
             registry.register_many(
                 f"bifrost.link.{region}-{dc}", link_views(link)
             )
+
+    # ------------------------------------------------------------------
+    # Fault injection (see ``repro.faults``)
+    # ------------------------------------------------------------------
+    def _backbone_links(self, source: str, destination: str) -> List[Link]:
+        """A backbone hop's physical link plus its reserved sub-links."""
+        try:
+            physical = self.backbone[(source, destination)]
+        except KeyError:
+            raise RoutingError(
+                f"no backbone link {source}->{destination}"
+            ) from None
+        return [physical, *self.streams[(source, destination)].values()]
+
+    def partition_link(
+        self, source: str, destination: str, both_directions: bool = True
+    ) -> None:
+        """Blackhole a backbone hop (physical link and every sub-link)."""
+        pairs = [(source, destination)]
+        if both_directions:
+            pairs.append((destination, source))
+        for src, dst in pairs:
+            for link in self._backbone_links(src, dst):
+                link.partition()
+
+    def degrade_link(
+        self,
+        source: str,
+        destination: str,
+        factor: float,
+        both_directions: bool = True,
+    ) -> None:
+        """Throttle a backbone hop to ``factor`` of nominal bandwidth."""
+        pairs = [(source, destination)]
+        if both_directions:
+            pairs.append((destination, source))
+        for src, dst in pairs:
+            for link in self._backbone_links(src, dst):
+                link.degrade(factor)
+
+    def restore_link(
+        self, source: str, destination: str, both_directions: bool = True
+    ) -> None:
+        """Heal a backbone hop: clear partition and degradation."""
+        pairs = [(source, destination)]
+        if both_directions:
+            pairs.append((destination, source))
+        for src, dst in pairs:
+            for link in self._backbone_links(src, dst):
+                link.restore()
+
+    def link_partitioned(self, source: str, destination: str) -> bool:
+        """Whether a backbone hop is currently blackholed."""
+        return self.backbone[(source, destination)].partitioned
+
+    def route_partitioned(self, hops: List[str]) -> bool:
+        """Whether any backbone hop along ``hops`` is blackholed."""
+        return any(
+            self.link_partitioned(src, dst) for src, dst in zip(hops, hops[1:])
+        )
 
     # ------------------------------------------------------------------
     def all_data_centers(self) -> List[str]:

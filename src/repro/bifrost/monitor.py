@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.bifrost.channels import Topology
-from repro.errors import ConfigError
+from repro.errors import ConfigError, RoutingError
 from repro.simulation.kernel import Simulator
 from repro.simulation.pipes import Link
 
@@ -111,14 +111,26 @@ class NetworkMonitor:
         """The candidate route with the smallest predicted time.
 
         Ties favour the direct route (fewer hops, fewer failure points).
+        Routes crossing a partitioned backbone hop are excluded — the
+        relay-failover path: a region whose preferred (direct) relay link
+        is blackholed gets its slices through a surviving relay group
+        instead.  If *every* candidate is partitioned the region is
+        unreachable right now and :class:`RoutingError` is raised; the
+        transport backs off and retries until the partition heals or its
+        reroute budget runs out.
         """
         best_hops: List[str] | None = None
         best_time = float("inf")
         for hops in self.topology.routes(destination_region):
+            if self.topology.route_partitioned(hops):
+                continue
             predicted = self.estimate_route_time(hops, nbytes, stream)
             if predicted < best_time - 1e-12:
                 best_hops, best_time = hops, predicted
-        assert best_hops is not None
+        if best_hops is None:
+            raise RoutingError(
+                f"all routes to {destination_region!r} are partitioned"
+            )
         return best_hops
 
     def snapshot(self) -> Dict[Tuple[str, str], float]:

@@ -27,7 +27,14 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.bifrost.channels import ORIGIN, Topology, stream_of
 from repro.bifrost.monitor import NetworkMonitor
 from repro.bifrost.slices import Slice
-from repro.errors import ChecksumMismatchError, ConfigError, TransmissionError
+from repro.errors import (
+    ChecksumMismatchError,
+    ConfigError,
+    DeliveryError,
+    LinkPartitionedError,
+    RoutingError,
+    TransmissionError,
+)
 from repro.indexing.types import IndexKind
 from repro.simulation.kernel import Simulator
 
@@ -48,6 +55,11 @@ class TransportConfig:
     late_threshold_s: float = 3600.0
     #: consult the monitor for re-routing (False = always direct)
     adaptive_routing: bool = True
+    #: route changes tolerated per delivery when links are partitioned
+    #: (each failed attempt waits ``reroute_backoff_s`` before retrying)
+    max_reroutes: int = 8
+    #: wait between reroute attempts while a region is unreachable
+    reroute_backoff_s: float = 1.0
     #: "origin-fanout": the origin sends every slice to every region (the
     #: paper's Bifrost).  "p2p": the origin seeds one region per slice and
     #: the seed forwards to its peers — the BitTorrent-style alternative
@@ -62,6 +74,10 @@ class TransportConfig:
             raise ConfigError("corruption probability must be in [0, 1)")
         if self.max_retransmits < 0:
             raise ConfigError("max_retransmits must be >= 0")
+        if self.max_reroutes < 0:
+            raise ConfigError("max_reroutes must be >= 0")
+        if self.reroute_backoff_s <= 0:
+            raise ConfigError("reroute_backoff_s must be positive")
         if self.late_threshold_s <= 0:
             raise ConfigError("late threshold must be positive")
         if self.distribution not in ("origin-fanout", "p2p"):
@@ -80,6 +96,12 @@ class DeliveryReport:
     generated: Dict[Tuple[str, str], float] = field(default_factory=dict)
     retransmissions: int = 0
     abandoned: int = 0
+    #: deliveries that switched to (or waited for) a surviving relay
+    #: group because a backbone link was partitioned
+    relay_failovers: int = 0
+    #: (region, slice_id, reason) for every abandoned delivery — the
+    #: typed record behind ``abandoned``
+    failures: List[Tuple[str, str, str]] = field(default_factory=list)
     bytes_sent: int = 0
     #: bytes that left the *origin* data center (the P2P saving shows here)
     origin_bytes_sent: int = 0
@@ -141,12 +163,46 @@ class BifrostTransport:
         #: its own track, so concurrent deliveries never mis-nest
         self.tracer = tracer
         self._random = random.Random(self.config.seed)
+        #: additive corruption probability, set/cleared by fault injection
+        #: (``repro.faults``) to simulate a burst of in-flight damage
+        self.corruption_boost = 0.0
+        #: lifetime counters across every ``deliver_version`` call — the
+        #: per-report counters reset each version, these do not
+        self.total_retransmissions = 0
+        self.total_abandoned = 0
+        self.total_relay_failovers = 0
 
     def _span(self, name: str, track: str, parent=None, **attrs):
         """A span on ``track``, or a no-op when tracing is off."""
         if self.tracer is None:
             return nullcontext()
         return self.tracer.span(name, track=track, parent=parent, **attrs)
+
+    def corruption_probability(self) -> float:
+        """Effective per-hop damage probability.
+
+        The configured base rate plus any active fault-injected burst,
+        capped below 1.0 so the retransmit loop can always terminate.
+        """
+        return min(
+            0.999, self.config.corruption_probability + self.corruption_boost
+        )
+
+    def _note_failover(self, report, track, item, **attrs) -> None:
+        """Record one relay failover: counters plus a marker span."""
+        report.relay_failovers += 1
+        self.total_relay_failovers += 1
+        with self._span("relay_failover", track, slice=item.slice_id, **attrs):
+            pass
+
+    def _account_loss(
+        self, report: DeliveryReport, region: str, slice_id: str,
+        exc: DeliveryError,
+    ) -> None:
+        """Book an abandoned delivery on the report and lifetime counters."""
+        report.abandoned += exc.deliveries_lost
+        self.total_abandoned += exc.deliveries_lost
+        report.failures.append((region, slice_id, str(exc)))
 
     # ------------------------------------------------------------------
     def deliver_version(
@@ -221,55 +277,92 @@ class BifrostTransport:
         generated_at = sim.now
         stream = stream_of(item.kind)
         track = f"deliver:{region}:{item.slice_id}"
+        direct = [ORIGIN, region]
 
-        with self._span(
-            "deliver", track, parent=parent_span,
-            slice=item.slice_id, region=region,
-        ):
-            attempts = 0
-            while True:
-                if config.adaptive_routing:
-                    hops = self.monitor.choose_route(region, item.size_bytes, stream)
-                else:
-                    hops = [ORIGIN, region]
-                if len(hops) > 2:
-                    report.detoured += 1
-                travelling = item.clean_copy()
-                try:
-                    for source, destination in zip(hops, hops[1:]):
-                        with self._span(
-                            "transmit_hop",
-                            track,
-                            source=source,
-                            destination=destination,
-                            slice=item.slice_id,
-                            attempt=attempts,
-                        ):
-                            sublink = self.topology.stream_link(
-                                source, destination, stream
+        try:
+            with self._span(
+                "deliver", track, parent=parent_span,
+                slice=item.slice_id, region=region,
+            ):
+                attempts = 0
+                reroutes = 0
+                while True:
+                    try:
+                        if config.adaptive_routing:
+                            hops = self.monitor.choose_route(
+                                region, item.size_bytes, stream
                             )
-                            yield sublink.transmit(travelling.size_bytes)
-                            report.bytes_sent += travelling.size_bytes
-                            if source == ORIGIN:
-                                report.origin_bytes_sent += travelling.size_bytes
-                            if (
-                                self._random.random()
-                                < config.corruption_probability
+                        else:
+                            if self.topology.route_partitioned(direct):
+                                raise LinkPartitionedError(
+                                    f"direct route to {region} is partitioned"
+                                )
+                            hops = direct
+                        if len(hops) > 2:
+                            report.detoured += 1
+                            if self.topology.route_partitioned(direct):
+                                # The region's preferred relay link is
+                                # blackholed; a surviving relay group is
+                                # carrying its slices instead.
+                                self._note_failover(
+                                    report, track, item, via=hops[1]
+                                )
+                        travelling = item.clean_copy()
+                        for source, destination in zip(hops, hops[1:]):
+                            with self._span(
+                                "transmit_hop",
+                                track,
+                                source=source,
+                                destination=destination,
+                                slice=item.slice_id,
+                                attempt=attempts,
                             ):
-                                travelling.corrupt()
-                            yield sim.timeout(config.relay_processing_s)
-                            travelling.verify()  # every relay re-checks the CRC
-                    break
-                except ChecksumMismatchError:
-                    attempts += 1
-                    report.retransmissions += 1
-                    if attempts > config.max_retransmits:
-                        report.abandoned += 1
-                        return
+                                sublink = self.topology.stream_link(
+                                    source, destination, stream
+                                )
+                                yield sublink.transmit(travelling.size_bytes)
+                                report.bytes_sent += travelling.size_bytes
+                                if source == ORIGIN:
+                                    report.origin_bytes_sent += (
+                                        travelling.size_bytes
+                                    )
+                                if (
+                                    self._random.random()
+                                    < self.corruption_probability()
+                                ):
+                                    travelling.corrupt()
+                                yield sim.timeout(config.relay_processing_s)
+                                travelling.verify()  # relays re-check the CRC
+                        break
+                    except ChecksumMismatchError:
+                        attempts += 1
+                        report.retransmissions += 1
+                        self.total_retransmissions += 1
+                        if attempts > config.max_retransmits:
+                            sublink.delivery_failures += 1
+                            raise DeliveryError(
+                                f"slice {item.slice_id} to {region}: "
+                                f"{config.max_retransmits} retransmissions "
+                                "all arrived corrupted"
+                            )
+                    except (LinkPartitionedError, RoutingError) as exc:
+                        reroutes += 1
+                        if reroutes > config.max_reroutes:
+                            raise DeliveryError(
+                                f"slice {item.slice_id} to {region}: still "
+                                f"unreachable after {config.max_reroutes} "
+                                f"reroute attempts ({exc})"
+                            )
+                        self._note_failover(
+                            report, track, item, reason=str(exc)
+                        )
+                        yield sim.timeout(config.reroute_backoff_s)
 
-            yield from self._fan_out(
-                travelling, region, generated_at, report, on_arrival, track
-            )
+                yield from self._fan_out(
+                    travelling, region, generated_at, report, on_arrival, track
+                )
+        except DeliveryError as exc:
+            self._account_loss(report, region, item.slice_id, exc)
 
     def _fan_out(
         self, travelling, region, generated_at, report, on_arrival,
@@ -331,35 +424,54 @@ class BifrostTransport:
         track = f"deliver:{seed_region}:{item.slice_id}"
 
         # Origin -> seed region, retrying from the origin on corruption.
+        # P2P has no alternate route to the seed, so a partitioned link
+        # abandons the delivery outright rather than rerouting.
         attempts = 0
-        while True:
-            travelling = item.clean_copy()
-            with self._span(
-                "transmit_hop",
-                track,
-                parent=parent_span,
-                source=ORIGIN,
-                destination=seed_region,
-                slice=item.slice_id,
-                attempt=attempts,
-            ):
-                sublink = self.topology.stream_link(ORIGIN, seed_region, stream)
-                yield sublink.transmit(travelling.size_bytes)
-                report.bytes_sent += travelling.size_bytes
-                report.origin_bytes_sent += travelling.size_bytes
-                if self._random.random() < config.corruption_probability:
-                    travelling.corrupt()
-                yield sim.timeout(config.relay_processing_s)
-            try:
-                travelling.verify()
-                break
-            except ChecksumMismatchError:
-                attempts += 1
-                report.retransmissions += 1
-                if attempts > config.max_retransmits:
-                    # Losing the seed copy loses every region's delivery.
-                    report.abandoned += len(self.topology.regions)
-                    return
+        try:
+            while True:
+                travelling = item.clean_copy()
+                with self._span(
+                    "transmit_hop",
+                    track,
+                    parent=parent_span,
+                    source=ORIGIN,
+                    destination=seed_region,
+                    slice=item.slice_id,
+                    attempt=attempts,
+                ):
+                    sublink = self.topology.stream_link(
+                        ORIGIN, seed_region, stream
+                    )
+                    yield sublink.transmit(travelling.size_bytes)
+                    report.bytes_sent += travelling.size_bytes
+                    report.origin_bytes_sent += travelling.size_bytes
+                    if self._random.random() < self.corruption_probability():
+                        travelling.corrupt()
+                    yield sim.timeout(config.relay_processing_s)
+                try:
+                    travelling.verify()
+                    break
+                except ChecksumMismatchError:
+                    attempts += 1
+                    report.retransmissions += 1
+                    self.total_retransmissions += 1
+                    if attempts > config.max_retransmits:
+                        sublink.delivery_failures += 1
+                        # Losing the seed copy loses every region's copy.
+                        raise DeliveryError(
+                            f"P2P seed copy of slice {item.slice_id} to "
+                            f"{seed_region}: {config.max_retransmits} "
+                            "retransmissions all arrived corrupted",
+                            deliveries_lost=len(self.topology.regions),
+                        )
+        except (DeliveryError, LinkPartitionedError) as exc:
+            if not isinstance(exc, DeliveryError):
+                exc = DeliveryError(
+                    f"P2P seed leg to {seed_region}: {exc}",
+                    deliveries_lost=len(self.topology.regions),
+                )
+            self._account_loss(report, seed_region, item.slice_id, exc)
+            return
 
         seed_copy = travelling
         peers = [r for r in self.topology.regions if r != seed_region]
@@ -389,32 +501,48 @@ class BifrostTransport:
         stream = stream_of(seed_copy.kind)
         track = f"deliver:{peer_region}:{seed_copy.slice_id}"
         attempts = 0
-        while True:
-            travelling = seed_copy.clean_copy()
-            with self._span(
-                "transmit_hop",
-                track,
-                parent=parent_span,
-                source=seed_region,
-                destination=peer_region,
-                slice=seed_copy.slice_id,
-                attempt=attempts,
-            ):
-                sublink = self.topology.stream_link(seed_region, peer_region, stream)
-                yield sublink.transmit(travelling.size_bytes)
-                report.bytes_sent += travelling.size_bytes
-                if self._random.random() < config.corruption_probability:
-                    travelling.corrupt()
-                yield sim.timeout(config.relay_processing_s)
-            try:
-                travelling.verify()
-                break
-            except ChecksumMismatchError:
-                attempts += 1
-                report.retransmissions += 1
-                if attempts > config.max_retransmits:
-                    report.abandoned += 1
-                    return
+        try:
+            while True:
+                travelling = seed_copy.clean_copy()
+                with self._span(
+                    "transmit_hop",
+                    track,
+                    parent=parent_span,
+                    source=seed_region,
+                    destination=peer_region,
+                    slice=seed_copy.slice_id,
+                    attempt=attempts,
+                ):
+                    sublink = self.topology.stream_link(
+                        seed_region, peer_region, stream
+                    )
+                    yield sublink.transmit(travelling.size_bytes)
+                    report.bytes_sent += travelling.size_bytes
+                    if self._random.random() < self.corruption_probability():
+                        travelling.corrupt()
+                    yield sim.timeout(config.relay_processing_s)
+                try:
+                    travelling.verify()
+                    break
+                except ChecksumMismatchError:
+                    attempts += 1
+                    report.retransmissions += 1
+                    self.total_retransmissions += 1
+                    if attempts > config.max_retransmits:
+                        sublink.delivery_failures += 1
+                        raise DeliveryError(
+                            f"P2P forward of slice {seed_copy.slice_id} from "
+                            f"{seed_region} to {peer_region}: "
+                            f"{config.max_retransmits} retransmissions all "
+                            "arrived corrupted"
+                        )
+        except (DeliveryError, LinkPartitionedError) as exc:
+            if not isinstance(exc, DeliveryError):
+                exc = DeliveryError(
+                    f"P2P forward {seed_region}->{peer_region}: {exc}"
+                )
+            self._account_loss(report, peer_region, seed_copy.slice_id, exc)
+            return
         yield from self._fan_out(
             travelling, peer_region, generated_at, report, on_arrival,
             track, parent_span,

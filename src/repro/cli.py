@@ -8,6 +8,7 @@ Usage::
     python -m repro month --pipelined  # overlapped daily update cycles
     python -m repro dedup-sweep     # bandwidth saving across dup ratios
     python -m repro observe         # traced cycle: stages + metrics
+    python -m repro chaos --plan single-node-crash  # faults + recovery
 
 Each subcommand is a smaller sibling of the corresponding benchmark in
 ``benchmarks/`` — same code paths, friendlier runtimes.  Every command
@@ -419,6 +420,65 @@ def _cmd_observe(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.workloads.chaos import ChaosConfig, run_chaos
+
+    result = run_chaos(ChaosConfig(plan=args.plan, cycles=args.cycles))
+    data = result.data
+
+    def render(data: dict) -> None:
+        rows = [
+            [
+                row["version"],
+                f"{row['keys_delivered']:,}",
+                f"{row['update_time_s']:.1f}s",
+                f"{row['miss_ratio'] * 100:.2f}%",
+                row["retransmissions"],
+                "yes" if row["promoted"] else "NO",
+            ]
+            for row in data["cycles"]
+        ]
+        print(
+            render_table(
+                ["version", "keys", "update time", "miss", "retx", "promoted"],
+                rows,
+            )
+        )
+        availability = data["availability"]
+        faults = data["faults"]
+        transport = data["transport"]
+        print(
+            f"\nplan {data['plan']!r}: {data['fault_events']} fault event(s), "
+            f"{faults['node_crashes']} crash(es), "
+            f"{faults['link_partitions']} partition(s)"
+        )
+        print(
+            f"availability: {availability['unavailable']}/"
+            f"{availability['probes']} probe reads unavailable "
+            f"({availability['unavailable_ratio'] * 100:.1f}%)"
+        )
+        print(
+            f"repair: {faults['repair_keys']} keys / "
+            f"{faults['repair_bytes']:,} bytes across "
+            f"{faults['repair_runs']} run(s); time to re-protect "
+            f"{faults['reprotect_last_s']:.2f}s "
+            f"(worst {faults['reprotect_max_s']:.2f}s)"
+        )
+        print(
+            f"transport: {transport['retransmits']} retransmit(s), "
+            f"{transport['relay_failovers']} relay failover(s), "
+            f"{transport['abandoned']} abandoned"
+        )
+        print(
+            f"verification: {data['lost_acknowledged_keys']}/"
+            f"{data['verified_keys']} acknowledged keys lost, "
+            f"{data['under_replicated_final']} under-replicated"
+        )
+
+    _emit(args, data, render)
+    return 0 if data["lost_acknowledged_keys"] == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="DirectLoad reproduction experiments"
@@ -461,7 +521,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the Chrome trace_event JSON here",
     )
 
-    for sub in (demo, fig5, fig9, month, dedup_sweep, report, observe):
+    chaos = commands.add_parser(
+        "chaos", help="an update cycle under a fault plan + recovery audit"
+    )
+    chaos.add_argument(
+        "--plan", default="single-node-crash",
+        help="a named plan (none, single-node-crash, group-outage, "
+        "relay-partition, region-isolation, corruption-burst) or raw "
+        "plan text",
+    )
+    chaos.add_argument(
+        "--cycles", type=int, default=2,
+        help="total update cycles (the first is the fault-free bootstrap)",
+    )
+
+    for sub in (demo, fig5, fig9, month, dedup_sweep, report, observe, chaos):
         sub.add_argument(
             "--json", action="store_true",
             help="emit machine-readable JSON instead of tables",
@@ -476,6 +550,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "dedup-sweep": _cmd_dedup_sweep,
         "report": _cmd_report,
         "observe": _cmd_observe,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

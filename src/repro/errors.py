@@ -65,6 +65,27 @@ class RoutingError(TransmissionError):
     """No usable route exists between the requested regions."""
 
 
+class LinkPartitionedError(TransmissionError):
+    """A transfer was attempted over a partitioned (blackholed) link."""
+
+
+class DeliveryError(TransmissionError):
+    """A slice delivery was abandoned after exhausting its retry budget.
+
+    Raised when ``max_retransmits`` retransmissions all arrived corrupted,
+    or when rerouting around partitioned links ran out of attempts.  The
+    transport accounts the loss (``DeliveryReport.abandoned``, the
+    per-link ``delivery_errors`` counter) instead of silently dropping
+    the slice.
+    """
+
+    def __init__(self, message: str, deliveries_lost: int = 1) -> None:
+        super().__init__(message)
+        #: fan-out width lost with this copy (a lost P2P seed copy loses
+        #: every region's delivery at once)
+        self.deliveries_lost = deliveries_lost
+
+
 class ClusterError(ReproError):
     """Base class for Mint cluster-management failures."""
 

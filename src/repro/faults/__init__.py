@@ -1,0 +1,38 @@
+"""Deterministic fault injection and recovery for the simulated fleet.
+
+The paper's deployment survives the failures any cross-region system
+sees: storage nodes power-failing mid-update, whole groups dropping out,
+backbone links partitioning or degrading, and bursts of in-flight
+corruption.  This package schedules those faults as simulation events
+(:mod:`repro.faults.plan`, :mod:`repro.faults.injector`) and repairs the
+damage when components rejoin (:mod:`repro.faults.repair`), so chaos runs
+are exactly reproducible from a seed and a plan string.
+"""
+
+from repro.faults.injector import FaultCounters, FaultInjector
+from repro.faults.plan import (
+    NAMED_PLANS,
+    CorruptionBurst,
+    FaultPlan,
+    GroupOutage,
+    LinkDegrade,
+    LinkPartition,
+    NodeCrash,
+    random_crash_plan,
+)
+from repro.faults.repair import RepairResult, ReplicaRepairer
+
+__all__ = [
+    "CorruptionBurst",
+    "FaultCounters",
+    "FaultInjector",
+    "FaultPlan",
+    "GroupOutage",
+    "LinkDegrade",
+    "LinkPartition",
+    "NAMED_PLANS",
+    "NodeCrash",
+    "RepairResult",
+    "ReplicaRepairer",
+    "random_crash_plan",
+]

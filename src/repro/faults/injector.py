@@ -1,0 +1,289 @@
+"""Schedules a fault plan's events onto the simulation kernel.
+
+Each event of a :class:`~repro.faults.plan.FaultPlan` becomes one
+simulation process: it sleeps until the event's offset, applies the
+fault, sleeps through the outage, then heals — and for node faults runs
+the :class:`~repro.faults.repair.ReplicaRepairer` so the rejoining node
+returns to full replication.  Every event traces on its own
+``fault:{i}`` track (``node_down``/``repair``/``link_partition``/... in
+simulated time), and the injector's counters register under ``faults.*``
+in the metrics registry.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ClusterError
+from repro.faults.plan import (
+    CorruptionBurst,
+    FaultPlan,
+    GroupOutage,
+    LinkDegrade,
+    LinkPartition,
+    NodeCrash,
+)
+from repro.faults.repair import RepairResult, ReplicaRepairer
+from repro.mint.cluster import MintCluster
+from repro.mint.group import NodeGroup
+from repro.mint.node import StorageNode
+
+
+@dataclass
+class FaultCounters:
+    """Injection and recovery tallies, registered as ``faults.*``."""
+
+    node_crashes: int = 0
+    node_restarts: int = 0
+    group_outages: int = 0
+    link_partitions: int = 0
+    link_degradations: int = 0
+    corruption_bursts: int = 0
+    repair_runs: int = 0
+    repair_keys: int = 0
+    repair_bytes: int = 0
+    repair_deletes: int = 0
+    repair_remote_copies: int = 0
+    repair_device_seconds: float = 0.0
+    #: crash -> fully re-replicated, most recent and worst observed
+    #: (simulated downtime + engine recovery + repair device time)
+    reprotect_last_s: float = 0.0
+    reprotect_max_s: float = 0.0
+
+
+class FaultInjector:
+    """Runs one fault plan against a live simulated system."""
+
+    def __init__(
+        self,
+        sim,
+        clusters: Dict[str, MintCluster],
+        topology,
+        transport,
+        tracer=None,
+        repairer: Optional[ReplicaRepairer] = None,
+    ) -> None:
+        self.sim = sim
+        self.clusters = clusters
+        self.topology = topology
+        self.transport = transport
+        self.tracer = tracer
+        self.repairer = repairer or ReplicaRepairer()
+        self.counters = FaultCounters()
+        #: the spawned event processes; drive the simulator over
+        #: ``sim.all_of(injector.processes)`` to drain pending faults
+        self.processes: List = []
+        self._start_time = 0.0
+
+    def _span(self, name: str, track: str, **attrs):
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, track=track, **attrs)
+
+    # ------------------------------------------------------------------
+    def start(self, plan: FaultPlan) -> List:
+        """Spawn one process per event; offsets are relative to now.
+
+        Starting an injector also arms the recovery layer's write
+        parking: a write whose whole replica set is down waits at the
+        relay instead of failing the cycle (see
+        :attr:`~repro.mint.group.NodeGroup.park_when_unavailable`).
+        """
+        self._start_time = self.sim.now
+        for cluster in self.clusters.values():
+            for group in cluster.groups:
+                group.park_when_unavailable = True
+        for index, event in enumerate(plan.events):
+            if isinstance(event, NodeCrash):
+                runner = self._run_node_crash(index, event)
+            elif isinstance(event, GroupOutage):
+                runner = self._run_group_outage(index, event)
+            elif isinstance(event, LinkPartition):
+                runner = self._run_link_partition(index, event)
+            elif isinstance(event, LinkDegrade):
+                runner = self._run_link_degrade(index, event)
+            elif isinstance(event, CorruptionBurst):
+                runner = self._run_corruption_burst(index, event)
+            else:  # pragma: no cover - plan types are closed
+                raise ClusterError(f"unknown fault event {event!r}")
+            self.processes.append(self.sim.process(runner))
+        return self.processes
+
+    # ------------------------------------------------------------------
+    def _resolve_node(
+        self, path: str
+    ) -> Tuple[MintCluster, NodeGroup, StorageNode]:
+        group, name = self._resolve_group_path(path.rsplit("/", 1)[0])
+        cluster = self.clusters[name]
+        return cluster, group, group.node(path)
+
+    def _resolve_group_path(self, path: str) -> Tuple[NodeGroup, str]:
+        parts = path.split("/")
+        if len(parts) != 2 or not parts[1].startswith("g"):
+            raise ClusterError(f"bad group path {path!r} (want dc/gN)")
+        dc, group_part = parts
+        try:
+            cluster = self.clusters[dc]
+            group = cluster.groups[int(group_part[1:])]
+        except (KeyError, IndexError, ValueError):
+            raise ClusterError(f"no group {path!r} in the fleet") from None
+        return group, dc
+
+    def _wait_until(self, at_s: float):
+        target = self._start_time + at_s
+        if target > self.sim.now:
+            return self.sim.timeout(target - self.sim.now)
+        return self.sim.timeout(0.0)
+
+    def _repair(
+        self,
+        track: str,
+        cluster: MintCluster,
+        group: NodeGroup,
+        node: StorageNode,
+        crashed_at: float,
+    ) -> RepairResult:
+        with self._span("repair", track, node=node.name) as span:
+            result = self.repairer.repair_node(
+                cluster, group, node, fleet=self.clusters
+            )
+        counters = self.counters
+        counters.repair_runs += 1
+        counters.repair_keys += result.keys_copied
+        counters.repair_bytes += result.bytes_copied
+        counters.repair_deletes += result.deletes_applied
+        counters.repair_remote_copies += result.remote_copies
+        counters.repair_device_seconds += result.device_seconds
+        reprotect = (
+            (self.sim.now - crashed_at)
+            + node.last_recovery_seconds
+            + result.device_seconds
+        )
+        counters.reprotect_last_s = reprotect
+        counters.reprotect_max_s = max(counters.reprotect_max_s, reprotect)
+        if span is not None and hasattr(span, "attrs"):
+            span.attrs["keys"] = result.keys_copied
+            span.attrs["bytes"] = result.bytes_copied
+            span.attrs["reprotect_s"] = reprotect
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_node_crash(self, index: int, event: NodeCrash):
+        yield self._wait_until(event.at_s)
+        cluster, group, node = self._resolve_node(event.node)
+        track = f"fault:{index}"
+        with self._span(
+            "node_down", track, node=event.node, down_s=event.down_s
+        ):
+            crashed_at = self.sim.now
+            node.fail()
+            self.counters.node_crashes += 1
+            yield self.sim.timeout(event.down_s)
+            node.recover()
+            self.counters.node_restarts += 1
+            self._repair(track, cluster, group, node, crashed_at)
+
+    def _run_group_outage(self, index: int, event: GroupOutage):
+        yield self._wait_until(event.at_s)
+        group, dc = self._resolve_group_path(event.group)
+        cluster = self.clusters[dc]
+        track = f"fault:{index}"
+        with self._span(
+            "node_down", track, group=event.group, down_s=event.down_s,
+            outage=True,
+        ):
+            crashed_at = self.sim.now
+            for node in group.nodes:
+                node.fail()
+                self.counters.node_crashes += 1
+            self.counters.group_outages += 1
+            yield self.sim.timeout(event.down_s)
+            for node in group.nodes:
+                node.recover()
+                self.counters.node_restarts += 1
+                self._repair(track, cluster, group, node, crashed_at)
+
+    def _run_link_partition(self, index: int, event: LinkPartition):
+        yield self._wait_until(event.at_s)
+        track = f"fault:{index}"
+        with self._span(
+            "link_partition", track,
+            link=f"{event.source}-{event.destination}",
+        ):
+            self.topology.partition_link(
+                event.source, event.destination, event.both_directions
+            )
+            self.counters.link_partitions += 1
+            yield self.sim.timeout(event.duration_s)
+            self.topology.restore_link(
+                event.source, event.destination, event.both_directions
+            )
+
+    def _run_link_degrade(self, index: int, event: LinkDegrade):
+        yield self._wait_until(event.at_s)
+        track = f"fault:{index}"
+        with self._span(
+            "link_degrade", track,
+            link=f"{event.source}-{event.destination}", factor=event.factor,
+        ):
+            self.topology.degrade_link(
+                event.source, event.destination, event.factor,
+                event.both_directions,
+            )
+            self.counters.link_degradations += 1
+            yield self.sim.timeout(event.duration_s)
+            self.topology.restore_link(
+                event.source, event.destination, event.both_directions
+            )
+
+    def _run_corruption_burst(self, index: int, event: CorruptionBurst):
+        yield self._wait_until(event.at_s)
+        track = f"fault:{index}"
+        with self._span("corruption_burst", track, p=event.probability):
+            # Additive, so overlapping bursts compose and each clears
+            # only its own contribution.
+            self.transport.corruption_boost += event.probability
+            self.counters.corruption_bursts += 1
+            yield self.sim.timeout(event.duration_s)
+            self.transport.corruption_boost = max(
+                0.0, self.transport.corruption_boost - event.probability
+            )
+
+    # ------------------------------------------------------------------
+    def register_metrics(self, registry) -> None:
+        """Register the fault/recovery counters under ``faults.*``.
+
+        Alongside the injector's own tallies, the transport's lifetime
+        delivery counters surface here — they are the availability story
+        a chaos run is judged on.
+        """
+        counters = self.counters
+        transport = self.transport
+        registry.register_many(
+            "faults",
+            {
+                "node.crashes": lambda: counters.node_crashes,
+                "node.restarts": lambda: counters.node_restarts,
+                "group.outages": lambda: counters.group_outages,
+                "link.partitions": lambda: counters.link_partitions,
+                "link.degradations": lambda: counters.link_degradations,
+                "corruption.bursts": lambda: counters.corruption_bursts,
+                "repair.runs": lambda: counters.repair_runs,
+                "repair.keys": lambda: counters.repair_keys,
+                "repair.bytes": lambda: counters.repair_bytes,
+                "repair.deletes": lambda: counters.repair_deletes,
+                "repair.remote_copies": (
+                    lambda: counters.repair_remote_copies
+                ),
+                "repair.device_seconds": (
+                    lambda: counters.repair_device_seconds
+                ),
+                "reprotect.last_s": lambda: counters.reprotect_last_s,
+                "reprotect.max_s": lambda: counters.reprotect_max_s,
+                "retransmits": lambda: transport.total_retransmissions,
+                "delivery.abandoned": lambda: transport.total_abandoned,
+                "relay.failovers": lambda: transport.total_relay_failovers,
+            },
+        )

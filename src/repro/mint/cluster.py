@@ -212,6 +212,33 @@ class MintCluster:
             self.chunk_store.release(recipe)
         return len(keys)
 
+    def under_replicated(self) -> List[tuple]:
+        """Live ``(key, version, live_copies)`` triples short of target.
+
+        Walks every version the cluster still references (ascending, so
+        dedup base versions come before the versions that point at them)
+        and counts, per key, the replicas that are up *and* actually hold
+        the record — a node that lost an unflushed tail in a crash is a
+        missing copy even though it answers requests.  An empty result is
+        the cluster's "fully re-protected" signal after fault recovery.
+        """
+        shortfalls: List[tuple] = []
+        for version in sorted(self.version_keys):
+            seen = set()
+            for key in self.version_keys[version]:
+                if key in seen:
+                    continue
+                seen.add(key)
+                group = self.group_for(key)
+                live = sum(
+                    1
+                    for node in group.replicas_for(key)
+                    if node.is_up and node.engine.exists(key, version)
+                )
+                if live < group.replica_count:
+                    shortfalls.append((key, version, live))
+        return shortfalls
+
     def query(self, kind: IndexKind, key: bytes, version: int) -> bytes:
         """Front-end read of one index entry."""
         return self.get(storage_key(kind, key), version)
@@ -278,6 +305,7 @@ class MintCluster:
                 {
                     "puts": lambda node=node: node.puts,
                     "gets": lambda node=node: node.gets,
+                    "skipped_gets": lambda node=node: node.skipped_gets,
                     "deletes": lambda node=node: node.deletes,
                     "recoveries": lambda node=node: node.recoveries,
                     "up": lambda node=node: 1.0 if node.is_up else 0.0,
@@ -386,6 +414,7 @@ class MintCluster:
             "stale_slices_dropped": self.stale_slices_dropped,
         }
         gets_per_node: Dict[str, int] = {}
+        skipped_gets_per_node: Dict[str, int] = {}
         for node in self.all_nodes:
             totals["nodes"] += 1
             totals["healthy_nodes"] += 1 if node.is_up else 0
@@ -393,6 +422,7 @@ class MintCluster:
             totals["gets"] += node.gets
             totals["deletes"] += node.deletes
             gets_per_node[node.name] = node.gets
+            skipped_gets_per_node[node.name] = node.skipped_gets
             stats = node.engine.stats()
             totals["user_bytes_written"] += stats.user_bytes_written
             totals["disk_used_bytes"] += stats.disk_used_bytes
@@ -402,6 +432,7 @@ class MintCluster:
             totals["batched_puts"] += getattr(stats, "batched_puts", 0)
             totals["device_write_ops"] += node.engine.device.counters.host_write_ops
         totals["gets_per_node"] = gets_per_node
+        totals["skipped_gets_per_node"] = skipped_gets_per_node
         return totals
 
     @property

@@ -39,8 +39,27 @@ class NodeGroup:
         self.group_id = group_id
         self.replica_count = replica_count
         self._nodes: Dict[str, StorageNode] = {}
+        #: node name -> ordered ops the node missed while down, as
+        #: ("put"|"delete", key, version).  Values are *not* kept — the
+        #: repairer (``repro.faults.repair``) copies them from a healthy
+        #: peer when the node rejoins, then clears the entry.
+        self.repair_backlog: Dict[str, List] = {}
+        #: fault-recovery mode (set by ``repro.faults``): a write whose
+        #: *every* replica is down parks in ``pending_writes`` — the
+        #: relay group holding the payload until the outage heals —
+        #: instead of raising :class:`ReplicationError`
+        self.park_when_unavailable = False
+        #: parked ``(key, version, value)`` writes awaiting a live replica
+        self.pending_writes: List = []
         for node in nodes:
             self.add_node(node)
+
+    def _note_missed(
+        self, node_name: str, op: str, key: bytes, version: int
+    ) -> None:
+        self.repair_backlog.setdefault(node_name, []).append(
+            (op, key, version)
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -91,8 +110,12 @@ class NodeGroup:
                 node.put(key, version, value)
                 written += 1
             except NodeDownError:
+                self._note_missed(node.name, "put", key, version)
                 continue
         if written == 0:
+            if self.park_when_unavailable:
+                self.pending_writes.append((key, version, value))
+                return 0
             raise ReplicationError(
                 f"no live replica for key {key!r} in group {self.group_id}"
             )
@@ -127,16 +150,34 @@ class NodeGroup:
             try:
                 node.put_batch(sub_batch)
             except NodeDownError:
+                for key, version, _value in sub_batch:
+                    self._note_missed(node.name, "put", key, version)
                 continue
             for index in per_node_indices[node.name]:
                 written_per_item[index] += 1
         for index, written in enumerate(written_per_item):
             if written == 0:
+                if self.park_when_unavailable:
+                    self.pending_writes.append(items[index])
+                    continue
                 raise ReplicationError(
                     f"no live replica for key {items[index][0]!r} in "
                     f"group {self.group_id}"
                 )
         return sum(written_per_item)
+
+    def _unpark(self, dropping) -> None:
+        """Discard parked writes for deleted ``(key, version)`` pairs.
+
+        A version dropped mid-outage must never be resurrected when the
+        parked writes replay on recovery.
+        """
+        if self.pending_writes:
+            self.pending_writes = [
+                item
+                for item in self.pending_writes
+                if (item[0], item[1]) not in dropping
+            ]
 
     def read_order(self, key: bytes) -> List[StorageNode]:
         """The key's replicas, least-loaded first.
@@ -178,9 +219,15 @@ class NodeGroup:
         missing: KeyNotFoundError | None = None
         all_down = True
         for node in self.read_order(key):
+            if not node.is_up:
+                # Skip proactively rather than paying a NodeDownError per
+                # read; the skip is visible in the node's stats.
+                node.skipped_gets += 1
+                continue
             try:
                 return node.get(key, version)
             except NodeDownError:
+                node.skipped_gets += 1
                 continue
             except KeyNotFoundError as exc:
                 all_down = False
@@ -200,7 +247,9 @@ class NodeGroup:
                 node.delete(key, version)
                 deleted += 1
             except NodeDownError:
+                self._note_missed(node.name, "delete", key, version)
                 continue
+        self._unpark({(key, version)})
         return deleted
 
     def delete_batch(self, items) -> int:
@@ -227,7 +276,10 @@ class NodeGroup:
                 node.delete_batch(sub_batch)
                 deleted += len(sub_batch)
             except NodeDownError:
+                for key, version in sub_batch:
+                    self._note_missed(node.name, "delete", key, version)
                 continue
+        self._unpark({(key, version) for key, version in items})
         return deleted
 
     def scan(self, start_key: bytes, end_key: bytes):

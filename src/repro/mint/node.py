@@ -29,6 +29,8 @@ class StorageNode:
         self.is_up = True
         self.puts = 0
         self.gets = 0
+        #: reads routed away from this node because it was down
+        self.skipped_gets = 0
         self.deletes = 0
         self.recoveries = 0
         self.last_recovery_seconds = 0.0

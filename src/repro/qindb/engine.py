@@ -424,6 +424,26 @@ class QinDB:
         self._charge_cpu()
         return item is not None and not item.deleted
 
+    def peek(self, key: bytes, version: int):
+        """Raw repair read: the record *as stored*, or ``None``.
+
+        Returns ``(value, deduplicated)`` — ``(None, True)`` for a
+        value-less deduplicated record — so replica repair can copy the
+        exact representation to a rebuilding peer instead of materialising
+        the dedup chain through :meth:`get` (which would inflate the peer
+        and break byte-identical equivalence with an unfaulted run).
+        Absent or deleted items return ``None``; no user-read accounting,
+        since this is maintenance traffic, not a front-end read.
+        """
+        self._check_open()
+        item = self.memtable.get(key, version)
+        self._charge_cpu()
+        if item is None or item.deleted:
+            return None
+        if not item.has_value:
+            return (None, True)
+        return (self._read_value(item.location), False)
+
     def scan(
         self, start_key: bytes, end_key: bytes
     ) -> Iterator[Tuple[bytes, int, bytes]]:

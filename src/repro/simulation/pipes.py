@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.errors import ConfigError, SimulationError
+from repro.errors import ConfigError, LinkPartitionedError, SimulationError
 from repro.simulation.events import Event, Timeout
 from repro.simulation.kernel import Simulator
 
@@ -43,19 +43,33 @@ class Link:
         self.sim = sim
         self.name = name
         self.bandwidth_bps = float(bandwidth_bps)
+        #: nameplate bandwidth; ``degrade``/``restore`` scale off this
+        self.nominal_bandwidth_bps = float(bandwidth_bps)
         self.latency_s = float(latency_s)
         self.stat_bucket_s = float(stat_bucket_s)
         self._busy_until = sim.now
         self.bytes_sent = 0
         self.transfer_count = 0
+        #: a partitioned link blackholes new transfers (fault injection)
+        self.partitioned = False
+        #: deliveries the transport abandoned on this link (retransmit
+        #: budget exhausted with this link as the failing hop)
+        self.delivery_failures = 0
         #: bytes clocked out per time bucket (bucket index -> bytes)
         self._bucket_bytes: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def transmit(self, nbytes: int) -> Event:
-        """Queue ``nbytes`` for transfer; event fires at delivery time."""
+        """Queue ``nbytes`` for transfer; event fires at delivery time.
+
+        A partitioned link rejects new transfers with
+        :class:`LinkPartitionedError` (transfers already serialized keep
+        their scheduled delivery — the bytes were on the wire).
+        """
         if nbytes < 0:
             raise SimulationError(f"cannot transmit negative bytes: {nbytes}")
+        if self.partitioned:
+            raise LinkPartitionedError(f"link {self.name or '?'} is partitioned")
         start = max(self.sim.now, self._busy_until)
         duration = nbytes * 8.0 / self.bandwidth_bps
         done_serializing = start + duration
@@ -77,6 +91,30 @@ class Link:
             + nbytes * 8.0 / self.bandwidth_bps
             + self.latency_s
         )
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def partition(self) -> None:
+        """Blackhole the link: every new ``transmit`` raises until
+        :meth:`restore`."""
+        self.partitioned = True
+
+    def degrade(self, factor: float) -> None:
+        """Throttle to ``factor`` of nominal bandwidth (0 < factor <= 1).
+
+        Only transfers queued after the call see the reduced rate —
+        already-serialized bytes keep their delivery times, like a
+        policer taking effect on the next packet.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ConfigError(f"degrade factor must be in (0, 1], got {factor}")
+        self.bandwidth_bps = self.nominal_bandwidth_bps * factor
+
+    def restore(self) -> None:
+        """Heal the link: clear the partition and restore full bandwidth."""
+        self.partitioned = False
+        self.bandwidth_bps = self.nominal_bandwidth_bps
 
     # ------------------------------------------------------------------
     # Utilization accounting

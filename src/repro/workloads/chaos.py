@@ -1,0 +1,277 @@
+"""Chaos runs: an update cycle under a fault plan, with availability
+accounting.
+
+The workload stands up the standard small DirectLoad system, bootstraps
+version 1, then runs the remaining cycles with a
+:class:`~repro.faults.injector.FaultInjector` executing the plan and a
+seeded availability probe reading bootstrap keys at a fixed cadence.
+After the faults drain it verifies the chaos contract:
+
+* **zero acknowledged loss** — every key a faulted cycle reported
+  delivered is still readable through the normal read path;
+* **full re-protection** — no ``(key, version)`` is left with fewer than
+  ``replica_count`` live copies.
+
+A run under the empty plan (``none``) must leave the fleet byte-identical
+to a plain :meth:`~repro.core.directload.DirectLoad.run_update_cycle`
+sequence — the equivalence test pins the chaos harness itself to zero
+side effects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError, KeyNotFoundError, ReplicationError
+from repro.faults import FaultInjector, FaultPlan
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos run's shape."""
+
+    #: a name from :data:`repro.faults.plan.NAMED_PLANS`, or raw plan
+    #: text (anything containing ``=`` parses as clauses)
+    plan: str = "single-node-crash"
+    #: total update cycles; the first is the fault-free bootstrap, the
+    #: plan's offsets are relative to the start of the second
+    cycles: int = 2
+    #: corpus mutation rate of the faulted cycles
+    mutation_rate: float = 0.3
+    #: availability probe cadence (simulated seconds between reads)
+    probe_interval_s: float = 0.25
+    probe_seed: int = 17
+
+    def __post_init__(self) -> None:
+        if self.cycles < 2:
+            raise ConfigError("need at least bootstrap + one faulted cycle")
+        if self.probe_interval_s <= 0:
+            raise ConfigError("probe interval must be positive")
+
+
+@dataclass
+class ChaosRunResult:
+    """The report plus live handles for tests to poke at."""
+
+    data: Dict[str, object]
+    system: object = field(repr=False, default=None)
+    injector: Optional[FaultInjector] = field(repr=False, default=None)
+
+
+def build_chaos_system():
+    """The standard small system every chaos scenario is written against.
+
+    Same shape as the CLI's month system: three regions, one group of
+    three nodes per data center, a backbone slow enough that deliveries
+    overlap the scheduled faults.
+    """
+    from repro.bifrost.channels import TopologyConfig
+    from repro.core.config import DirectLoadConfig
+    from repro.core.directload import DirectLoad
+    from repro.mint.cluster import MintConfig
+
+    return DirectLoad(
+        DirectLoadConfig(
+            doc_count=80,
+            vocabulary_size=300,
+            doc_length=20,
+            summary_value_bytes=1024,
+            forward_value_bytes=256,
+            slice_bytes=32 * 1024,
+            generation_window_s=5.0,
+            topology=TopologyConfig(backbone_bps=1_000_000.0),
+            mint=MintConfig(
+                group_count=1, nodes_per_group=3,
+                node_capacity_bytes=64 * 1024 * 1024,
+            ),
+        )
+    )
+
+
+def resolve_plan(spec: str) -> FaultPlan:
+    """A plan from a registry name or raw clause text."""
+    if "=" in spec:
+        return FaultPlan.parse(spec, name="inline")
+    return FaultPlan.named(spec)
+
+
+def fleet_state(system) -> Dict:
+    """The stored *representation* of every replica of every live key.
+
+    Maps ``(dc, node, key, version)`` to ``(value, deduplicated)`` — the
+    byte-identical-equivalence witness: a repaired fleet and a never-
+    faulted fleet must produce exactly the same mapping.
+    """
+    state: Dict = {}
+    for dc, cluster in system.clusters.items():
+        for version in sorted(cluster.version_keys):
+            for key in set(cluster.version_keys[version]):
+                group = cluster.group_for(key)
+                for node in group.replicas_for(key):
+                    peek = getattr(node.engine, "peek", None)
+                    record = peek(key, version) if peek else None
+                    state[(dc, node.name, key, version)] = record
+    return state
+
+
+def run_chaos(config: ChaosConfig | None = None) -> ChaosRunResult:
+    """Run the chaos workload; see the module docstring for the contract."""
+    config = config or ChaosConfig()
+    plan = resolve_plan(config.plan)
+    system = build_chaos_system()
+    sim = system.sim
+
+    bootstrap = system.run_update_cycle()
+
+    injector = FaultInjector(
+        sim,
+        system.clusters,
+        system.topology,
+        system.transport,
+        tracer=system.tracer,
+    )
+    injector.register_metrics(system.metrics)
+
+    probe_counters = {"probes": 0, "unavailable": 0}
+    probe_stop = {"flag": False}
+
+    def probe():
+        """Seeded fixed-cadence reads of bootstrap keys across the fleet.
+
+        Pure read traffic (only device clocks advance), so a probed run's
+        stored state stays identical to an unprobed one.
+        """
+        rng = random.Random(config.probe_seed)
+        targets = [
+            (cluster, key)
+            for cluster in system.clusters.values()
+            for key in cluster.version_keys.get(bootstrap.version, [])
+        ]
+        while targets and not probe_stop["flag"]:
+            cluster, key = targets[rng.randrange(len(targets))]
+            probe_counters["probes"] += 1
+            try:
+                cluster.get(key, bootstrap.version)
+            except (ReplicationError, KeyNotFoundError):
+                probe_counters["unavailable"] += 1
+            yield sim.timeout(config.probe_interval_s)
+
+    system.metrics.register_many(
+        "faults.reads",
+        {
+            "probes": lambda: probe_counters["probes"],
+            "unavailable": lambda: probe_counters["unavailable"],
+            "unavailable_ratio": lambda: (
+                probe_counters["unavailable"] / probe_counters["probes"]
+                if probe_counters["probes"]
+                else 0.0
+            ),
+        },
+    )
+
+    # The probe only runs when faults are actually scheduled: under the
+    # empty plan the run must be byte-identical to plain cycles, so no
+    # extra processes touch the fleet at all.
+    if plan.events:
+        sim.process(probe())
+    injector.start(plan)
+
+    faulted_reports = [
+        system.run_update_cycle(mutation_rate=config.mutation_rate)
+        for _ in range(config.cycles - 1)
+    ]
+
+    # A cycle's drive stops at its own delivery tail; faults scheduled
+    # past it (a long outage, a late heal) still need to run to
+    # completion before the fleet is judged.
+    pending = [p for p in injector.processes if not p.processed]
+    if pending:
+        sim.run(until=sim.all_of(pending))
+    probe_stop["flag"] = True
+
+    lost_acknowledged = 0
+    verified_keys = 0
+    for report in faulted_reports:
+        for cluster in system.clusters.values():
+            for key in set(cluster.version_keys.get(report.version, [])):
+                verified_keys += 1
+                try:
+                    cluster.get(key, report.version)
+                except (ReplicationError, KeyNotFoundError):
+                    lost_acknowledged += 1
+
+    under_replicated_final = sum(
+        len(cluster.under_replicated())
+        for cluster in system.clusters.values()
+    )
+
+    counters = injector.counters
+    transport = system.transport
+    probes = probe_counters["probes"]
+    data: Dict[str, object] = {
+        "plan": plan.name,
+        "fault_events": len(plan.events),
+        "cycles": [
+            {
+                "version": report.version,
+                "keys_delivered": report.keys_delivered,
+                "update_time_s": report.update_time_s,
+                "miss_ratio": report.miss_ratio,
+                "retransmissions": report.retransmissions,
+                "promoted": report.promoted,
+            }
+            for report in [bootstrap] + faulted_reports
+        ],
+        "availability": {
+            "probes": probes,
+            "unavailable": probe_counters["unavailable"],
+            "unavailable_ratio": (
+                probe_counters["unavailable"] / probes if probes else 0.0
+            ),
+        },
+        "faults": {
+            "node_crashes": counters.node_crashes,
+            "node_restarts": counters.node_restarts,
+            "group_outages": counters.group_outages,
+            "link_partitions": counters.link_partitions,
+            "corruption_bursts": counters.corruption_bursts,
+            "repair_runs": counters.repair_runs,
+            "repair_keys": counters.repair_keys,
+            "repair_bytes": counters.repair_bytes,
+            "repair_deletes": counters.repair_deletes,
+            "repair_remote_copies": counters.repair_remote_copies,
+            "reprotect_last_s": counters.reprotect_last_s,
+            "reprotect_max_s": counters.reprotect_max_s,
+        },
+        "transport": {
+            "retransmits": transport.total_retransmissions,
+            "abandoned": transport.total_abandoned,
+            "relay_failovers": transport.total_relay_failovers,
+        },
+        "verified_keys": verified_keys,
+        "lost_acknowledged_keys": lost_acknowledged,
+        "under_replicated_final": under_replicated_final,
+    }
+    return ChaosRunResult(data=data, system=system, injector=injector)
+
+
+def run_plain_cycles(cycles: int, mutation_rate: float) -> object:
+    """The unfaulted twin of :func:`run_chaos`, for equivalence checks."""
+    system = build_chaos_system()
+    system.run_update_cycle()
+    for _ in range(cycles - 1):
+        system.run_update_cycle(mutation_rate=mutation_rate)
+    return system
+
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosRunResult",
+    "build_chaos_system",
+    "fleet_state",
+    "resolve_plan",
+    "run_chaos",
+    "run_plain_cycles",
+]

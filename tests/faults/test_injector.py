@@ -1,0 +1,166 @@
+"""FaultInjector mechanics: each event type applies, holds, and heals."""
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.obs.registry import MetricsRegistry
+from repro.workloads.chaos import build_chaos_system
+
+
+@pytest.fixture
+def system():
+    return build_chaos_system()
+
+
+def make_injector(system):
+    return FaultInjector(
+        system.sim,
+        system.clusters,
+        system.topology,
+        system.transport,
+        tracer=system.tracer,
+    )
+
+
+def drain(system, injector):
+    system.sim.run(until=system.sim.all_of(injector.processes))
+
+
+# ------------------------------------------------------------------- crash
+def test_node_crash_downs_then_restores(system):
+    injector = make_injector(system)
+    injector.start(FaultPlan.parse("crash node=north-dc1/g0/n0 at=1 down=4"))
+    node = system.clusters["north-dc1"].groups[0].nodes[0]
+
+    system.sim.run(until=2.0)
+    assert not node.is_up
+    drain(system, injector)
+    assert node.is_up
+    assert system.sim.now >= 5.0
+    assert injector.counters.node_crashes == 1
+    assert injector.counters.node_restarts == 1
+    assert injector.counters.repair_runs == 1
+
+
+def test_start_arms_write_parking(system):
+    injector = make_injector(system)
+    groups = [
+        group
+        for cluster in system.clusters.values()
+        for group in cluster.groups
+    ]
+    assert not any(group.park_when_unavailable for group in groups)
+    injector.start(FaultPlan.named("none"))
+    assert all(group.park_when_unavailable for group in groups)
+
+
+def test_resolve_rejects_bad_paths(system):
+    injector = make_injector(system)
+    with pytest.raises(ClusterError):
+        injector._resolve_node("north-dc1/g9/n0")
+    with pytest.raises(ClusterError):
+        injector._resolve_group_path("no-such-dc/g0")
+    with pytest.raises(ClusterError):
+        injector._resolve_group_path("north-dc1")
+
+
+# ------------------------------------------------------------------ outage
+def test_group_outage_downs_every_node(system):
+    injector = make_injector(system)
+    injector.start(FaultPlan.parse("outage group=north-dc1/g0 at=1 down=4"))
+    group = system.clusters["north-dc1"].groups[0]
+
+    system.sim.run(until=2.0)
+    assert group.healthy_count == 0
+    drain(system, injector)
+    assert group.healthy_count == len(group.nodes)
+    assert injector.counters.group_outages == 1
+    assert injector.counters.node_crashes == len(group.nodes)
+    assert injector.counters.repair_runs == len(group.nodes)
+
+
+# --------------------------------------------------------------- partition
+def test_partition_blackholes_then_heals(system):
+    injector = make_injector(system)
+    injector.start(FaultPlan.parse("partition link=origin-north at=1 dur=4"))
+
+    assert not system.topology.link_partitioned("origin", "north")
+    system.sim.run(until=2.0)
+    assert system.topology.link_partitioned("origin", "north")
+    assert system.topology.link_partitioned("north", "origin")  # both ways
+    drain(system, injector)
+    assert not system.topology.link_partitioned("origin", "north")
+    assert injector.counters.link_partitions == 1
+
+
+def test_oneway_partition_leaves_reverse_direction(system):
+    injector = make_injector(system)
+    injector.start(
+        FaultPlan.parse("partition link=origin-north at=1 dur=4 oneway")
+    )
+    system.sim.run(until=2.0)
+    assert system.topology.link_partitioned("origin", "north")
+    assert not system.topology.link_partitioned("north", "origin")
+    drain(system, injector)
+
+
+# ----------------------------------------------------------------- degrade
+def test_degrade_scales_bandwidth_then_restores(system):
+    injector = make_injector(system)
+    injector.start(
+        FaultPlan.parse("degrade link=origin-north factor=0.25 at=1 dur=4")
+    )
+    links = system.topology._backbone_links("origin", "north")
+    nominal = [link.nominal_bandwidth_bps for link in links]
+
+    system.sim.run(until=2.0)
+    for link, before in zip(links, nominal):
+        assert link.bandwidth_bps == pytest.approx(before * 0.25)
+    drain(system, injector)
+    for link, before in zip(links, nominal):
+        assert link.bandwidth_bps == pytest.approx(before)
+    assert injector.counters.link_degradations == 1
+
+
+# ---------------------------------------------------------------- corrupt
+def test_corruption_bursts_compose_additively(system):
+    injector = make_injector(system)
+    injector.start(
+        FaultPlan.parse(
+            "corrupt p=0.2 at=1 dur=4; corrupt p=0.3 at=2 dur=1"
+        )
+    )
+    system.sim.run(until=1.5)
+    assert system.transport.corruption_boost == pytest.approx(0.2)
+    system.sim.run(until=2.5)
+    assert system.transport.corruption_boost == pytest.approx(0.5)
+    system.sim.run(until=3.5)  # the short burst cleared only its own share
+    assert system.transport.corruption_boost == pytest.approx(0.2)
+    drain(system, injector)
+    assert system.transport.corruption_boost == pytest.approx(0.0)
+    assert injector.counters.corruption_bursts == 2
+    # The boost saturates the effective probability below 1.0.
+    system.transport.corruption_boost = 5.0
+    assert system.transport.corruption_probability() == pytest.approx(0.999)
+
+
+# ----------------------------------------------------------------- metrics
+def test_register_metrics_exposes_fault_counters(system):
+    injector = make_injector(system)
+    registry = MetricsRegistry()
+    injector.register_metrics(registry)
+    injector.start(FaultPlan.parse("crash node=north-dc1/g0/n0 at=0 down=1"))
+    drain(system, injector)
+    collected = registry.collect("faults")
+    assert collected["faults.node.crashes"] == 1
+    assert collected["faults.node.restarts"] == 1
+    assert collected["faults.repair.runs"] == 1
+    for name in (
+        "faults.retransmits",
+        "faults.delivery.abandoned",
+        "faults.relay.failovers",
+        "faults.reprotect.max_s",
+    ):
+        assert name in collected

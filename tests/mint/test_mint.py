@@ -3,7 +3,12 @@
 import pytest
 
 from repro.bifrost.slices import Slice
-from repro.errors import ClusterError, NodeDownError, ReplicationError
+from repro.errors import (
+    ClusterError,
+    KeyNotFoundError,
+    NodeDownError,
+    ReplicationError,
+)
 from repro.indexing.types import IndexEntry, IndexKind
 from repro.mint.cluster import MintCluster, MintConfig, storage_key
 from repro.mint.group import NodeGroup
@@ -461,3 +466,44 @@ def test_ingest_slice_lands_as_engine_batches():
     for entry in entries:
         skey = storage_key(entry.kind, entry.key)
         assert cluster.get(skey, 1) == entry.value
+
+
+def test_group_read_skips_down_replicas_and_counts_skips():
+    """A down replica reached during failover is skipped proactively,
+    and the skip is visible in the node's stats rather than costing a
+    ``NodeDownError`` round-trip."""
+    group = make_group()
+    group.put(b"k", 1, b"v")
+    replicas = group.replicas_for(b"k")
+    replicas[0].fail()
+    # A live replica answers first (down nodes sort last), so no skip.
+    assert group.get(b"k", 1) == b"v"
+    assert replicas[0].skipped_gets == 0
+    # A version nobody has walks the whole order: the live replicas miss
+    # and the down one is skipped, not asked.
+    with pytest.raises(KeyNotFoundError):
+        group.get(b"k", 2)
+    assert replicas[0].skipped_gets == 1
+    assert replicas[0].gets == 0  # the down node performed no read
+    # All replicas down: every one is counted skipped, then the read
+    # fails group-wide.
+    for node in replicas[1:]:
+        node.fail()
+    with pytest.raises(ReplicationError):
+        group.get(b"k", 1)
+    assert [node.skipped_gets for node in replicas] == [2, 1, 1]
+
+
+def test_cluster_stats_expose_skipped_gets():
+    cluster = MintCluster(
+        "dc", MintConfig(group_count=1, nodes_per_group=3,
+                         node_capacity_bytes=16 * 1024 * 1024)
+    )
+    cluster.put(b"k", 1, b"v")
+    group = cluster.groups[0]
+    for node in group.replicas_for(b"k"):
+        node.fail()
+    with pytest.raises(ReplicationError):
+        cluster.get(b"k", 1)
+    per_node = cluster.stats()["skipped_gets_per_node"]
+    assert sum(per_node.values()) == 3

@@ -235,3 +235,47 @@ def test_auto_checkpoint_discards_superseded_snapshots():
     # Superseded checkpoint units were erased: only the latest holds
     # blocks, so device usage is bounded.
     assert engine.latest_checkpoint.unit.block_count > 0
+
+
+def test_checkpoint_then_gc_sweep_then_crash_recovers_via_full_scan():
+    """A GC sweep between checkpoint and crash invalidates the snapshot.
+
+    GC re-appends live records into new segments, so the checkpoint's
+    recorded locations are stale; recovery must notice the invalidation,
+    fall back to the full AOF scan, and still reconstruct the exact
+    state — dedup chains, tombstones, and the GC-moved records included.
+    """
+    engine = small_engine()
+    engine.put(b"url", 1, b"base" * 300)
+    engine.put(b"url", 2, None)  # dedup chain across the sweep
+    for index in range(120):
+        engine.put(f"pad-{index:02d}".encode(), 1, b"p" * 4000)
+    checkpoint = Checkpoint.write(engine)
+    assert not engine._gc_since_checkpoint
+
+    # Kill the padding: the deletes push the sealed segments under the
+    # GC threshold and the engine's own sweep kicks in, moving the live
+    # url chain into a fresh segment — every location the checkpoint
+    # recorded is now suspect.
+    gc_runs_before = engine.gc_runs
+    for index in range(120):
+        engine.delete(f"pad-{index:02d}".encode(), 1)
+    assert engine.gc_runs > gc_runs_before
+    assert engine._gc_since_checkpoint  # the sweep invalidated it
+
+    engine.put(b"late", 1, b"after-the-sweep")
+    engine.flush()
+    checkpoint_valid = not engine._gc_since_checkpoint
+    recovered = recover(
+        crash(engine),
+        checkpoint=checkpoint,
+        checkpoint_valid=checkpoint_valid,
+    )
+    assert recovered.get(b"url", 2) == b"base" * 300
+    assert recovered.get(b"late", 1) == b"after-the-sweep"
+    for index in range(120):
+        with pytest.raises(KeyNotFoundError):
+            recovered.get(f"pad-{index:02d}".encode(), 1)
+    # The recovered engine keeps working past the interleaving.
+    recovered.put(b"url", 3, None)
+    assert recovered.get(b"url", 3) == b"base" * 300
