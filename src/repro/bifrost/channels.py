@@ -136,24 +136,32 @@ class Topology:
         its reserved sub-links, and the same scheme for intra-region
         links — the counters Bifrost's monitoring platform "keeps
         collecting" in the paper.
+
+        Each link's family registers as one array view: a single
+        row-reader per link instead of four closures, so wide fleets
+        pay one call per link per snapshot.  Names and values are
+        identical to per-counter registration.
         """
 
-        def link_views(link: Link):
-            return {
-                "bytes": lambda: link.bytes_sent,
-                "transfers": lambda: link.transfer_count,
-                "delivery_errors": lambda: link.delivery_failures,
-                "partitioned": lambda: 1.0 if link.partitioned else 0.0,
-            }
+        def link_row(link: Link):
+            return lambda: (
+                link.bytes_sent,
+                link.transfer_count,
+                link.delivery_failures,
+                1.0 if link.partitioned else 0.0,
+            )
 
+        suffixes = ("bytes", "transfers", "delivery_errors", "partitioned")
         for (source, destination), link in self.backbone.items():
             prefix = f"bifrost.link.{source}-{destination}"
-            registry.register_many(prefix, link_views(link))
+            registry.register_array(prefix, suffixes, link_row(link))
             for stream, sublink in self.streams[(source, destination)].items():
-                registry.register_many(f"{prefix}.{stream}", link_views(sublink))
+                registry.register_array(
+                    f"{prefix}.{stream}", suffixes, link_row(sublink)
+                )
         for (region, dc), link in self.intra.items():
-            registry.register_many(
-                f"bifrost.link.{region}-{dc}", link_views(link)
+            registry.register_array(
+                f"bifrost.link.{region}-{dc}", suffixes, link_row(link)
             )
 
     # ------------------------------------------------------------------

@@ -62,7 +62,7 @@ def deserialize_entries(payload: bytes) -> Iterator[IndexEntry]:
         yield IndexEntry(kinds[kind_index], bytes(key), value)
 
 
-@dataclass
+@dataclass(slots=True)
 class Slice:
     """One transmission unit: entries of a single kind, checksummed.
 

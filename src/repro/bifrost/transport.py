@@ -273,7 +273,7 @@ class BifrostTransport:
         sim = self.sim
         config = self.config
         if item.available_at > sim.now:
-            yield sim.timeout(item.available_at - sim.now)
+            yield item.available_at - sim.now
         generated_at = sim.now
         stream = stream_of(item.kind)
         track = f"deliver:{region}:{item.slice_id}"
@@ -320,7 +320,7 @@ class BifrostTransport:
                                 sublink = self.topology.stream_link(
                                     source, destination, stream
                                 )
-                                yield sublink.transmit(travelling.size_bytes)
+                                yield sublink.transmit_delay(travelling.size_bytes)
                                 report.bytes_sent += travelling.size_bytes
                                 if source == ORIGIN:
                                     report.origin_bytes_sent += (
@@ -331,7 +331,7 @@ class BifrostTransport:
                                     < self.corruption_probability()
                                 ):
                                     travelling.corrupt()
-                                yield sim.timeout(config.relay_processing_s)
+                                yield config.relay_processing_s
                                 travelling.verify()  # relays re-check the CRC
                         break
                     except ChecksumMismatchError:
@@ -356,7 +356,7 @@ class BifrostTransport:
                         self._note_failover(
                             report, track, item, reason=str(exc)
                         )
-                        yield sim.timeout(config.reroute_backoff_s)
+                        yield config.reroute_backoff_s
 
                 yield from self._fan_out(
                     travelling, region, generated_at, report, on_arrival, track
@@ -392,9 +392,9 @@ class BifrostTransport:
                     dc=dc, slice=travelling.slice_id,
                 ):
                     intra = self.topology.intra_link(region, dc)
-                    yield intra.transmit(travelling.size_bytes)
+                    yield intra.transmit_delay(travelling.size_bytes)
                     report.bytes_sent += travelling.size_bytes
-                    yield sim.timeout(config.relay_processing_s)
+                    yield config.relay_processing_s
                     travelling.verify()
                     key = (dc, travelling.slice_id)
                     report.arrivals[key] = sim.now
@@ -418,7 +418,7 @@ class BifrostTransport:
         sim = self.sim
         config = self.config
         if item.available_at > sim.now:
-            yield sim.timeout(item.available_at - sim.now)
+            yield item.available_at - sim.now
         generated_at = sim.now
         stream = stream_of(item.kind)
         track = f"deliver:{seed_region}:{item.slice_id}"
@@ -442,12 +442,12 @@ class BifrostTransport:
                     sublink = self.topology.stream_link(
                         ORIGIN, seed_region, stream
                     )
-                    yield sublink.transmit(travelling.size_bytes)
+                    yield sublink.transmit_delay(travelling.size_bytes)
                     report.bytes_sent += travelling.size_bytes
                     report.origin_bytes_sent += travelling.size_bytes
                     if self._random.random() < self.corruption_probability():
                         travelling.corrupt()
-                    yield sim.timeout(config.relay_processing_s)
+                    yield config.relay_processing_s
                 try:
                     travelling.verify()
                     break
@@ -516,11 +516,11 @@ class BifrostTransport:
                     sublink = self.topology.stream_link(
                         seed_region, peer_region, stream
                     )
-                    yield sublink.transmit(travelling.size_bytes)
+                    yield sublink.transmit_delay(travelling.size_bytes)
                     report.bytes_sent += travelling.size_bytes
                     if self._random.random() < self.corruption_probability():
                         travelling.corrupt()
-                    yield sim.timeout(config.relay_processing_s)
+                    yield config.relay_processing_s
                 try:
                     travelling.verify()
                     break

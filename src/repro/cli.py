@@ -8,6 +8,7 @@ Usage::
     python -m repro month --pipelined  # overlapped daily update cycles
     python -m repro dedup-sweep     # bandwidth saving across dup ratios
     python -m repro observe         # traced cycle: stages + metrics
+    python -m repro perf --json     # kernel bench: events/sec per scenario
     python -m repro chaos --plan single-node-crash  # faults + recovery
 
 Each subcommand is a smaller sibling of the corresponding benchmark in
@@ -420,6 +421,102 @@ def _cmd_observe(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    from repro.workloads.perf import compare_entries, run_perf
+
+    entry = run_perf(
+        scenarios=args.scenario or None,
+        days=args.days,
+        repeat=args.repeat,
+        fleet=args.fleet,
+        tracing=args.tracing,
+        label=args.label,
+    )
+    failures: List[str] = []
+    if args.check:
+        with open(args.check) as handle:
+            bench = json.load(handle)
+        entries = bench.get("entries") or []
+        if args.baseline_label:
+            entries = [
+                e for e in entries if e.get("label") == args.baseline_label
+            ]
+        if not entries:
+            wanted = (
+                f" labelled {args.baseline_label!r}"
+                if args.baseline_label
+                else ""
+            )
+            failures.append(f"{args.check} has no baseline entries{wanted}")
+        else:
+            failures = compare_entries(
+                entry, entries[-1], min_ratio=args.min_ratio
+            )
+    if args.out:
+        try:
+            with open(args.out) as handle:
+                bench = json.load(handle)
+        except FileNotFoundError:
+            bench = {
+                "benchmark": "kernel",
+                "units": {
+                    "events_per_s": "kernel events per wall second",
+                    "sim_s_per_wall_s": "simulated seconds per wall second",
+                },
+                "entries": [],
+            }
+        bench["entries"].append(entry)
+        with open(args.out, "w") as handle:
+            json.dump(bench, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    data = dict(entry)
+    if args.check:
+        data["baseline"] = args.check
+        data["regressions"] = failures
+    if args.out:
+        data["out"] = args.out
+
+    def render(data: dict) -> None:
+        rows = [
+            [
+                name,
+                f"{result['events']:,}",
+                f"{result['wall_s']:.3f}s",
+                f"{result['events_per_s']:,.0f}",
+                f"{result['sim_s_per_wall_s']:,.1f}",
+                f"{result['keys_delivered']:,}",
+            ]
+            for name, result in data["scenarios"].items()
+        ]
+        print(
+            render_table(
+                ["scenario", "events", "wall", "events/s", "sim-s/wall-s",
+                 "keys"],
+                rows,
+            )
+        )
+        if "fleet" in data:
+            fleet = data["fleet"]
+            print(
+                f"\nfleet smoke: {fleet['nodes']} nodes, "
+                f"{fleet['keys_per_cycle']:,} keys/cycle, "
+                f"{fleet['wall_s']:.2f}s wall "
+                f"({fleet['events_per_s']:,.0f} events/s)"
+            )
+        if "regressions" in data:
+            if data["regressions"]:
+                print(f"\nREGRESSION vs {data['baseline']}:")
+                for line in data["regressions"]:
+                    print(f"  {line}")
+            else:
+                print(f"\nno regression vs {data['baseline']}")
+        if "out" in data:
+            print(f"\nappended entry {data['label']!r} to {data['out']}")
+
+    _emit(args, data, render)
+    return 1 if failures else 0
+
+
 def _cmd_chaos(args) -> int:
     from repro.workloads.chaos import ChaosConfig, run_chaos
 
@@ -521,6 +618,52 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the Chrome trace_event JSON here",
     )
 
+    perf = commands.add_parser(
+        "perf", help="kernel perf bench: events/sec on the canned scenarios"
+    )
+    perf.add_argument(
+        "--scenario", action="append", default=None,
+        help="run only this scenario (repeatable); default: all three",
+    )
+    perf.add_argument("--days", type=int, default=6)
+    perf.add_argument(
+        "--repeat", type=int, default=1,
+        help="best-of-N wall time per scenario (damps scheduler noise)",
+    )
+    perf.add_argument(
+        "--fleet", action="store_true",
+        help="also run the 72-node / 100k-keys-per-cycle fleet smoke",
+    )
+    perf.add_argument(
+        "--tracing", action="store_true",
+        help="run with tracing enabled instead of the null-tracer path",
+    )
+    perf.add_argument(
+        "--label", default=None,
+        help="entry label recorded with --out (e.g. post-refactor)",
+    )
+    perf.add_argument(
+        "--out", default=None,
+        help="append this run as an entry to the given BENCH_kernel.json",
+    )
+    perf.add_argument(
+        "--check", default=None,
+        help="compare events/sec against the last entry of this baseline "
+        "file; exit 1 on regression",
+    )
+    perf.add_argument(
+        "--min-ratio", type=float, default=0.8,
+        help="regression gate: fail below this fraction of baseline "
+        "events/sec (default 0.8 = fail on >20%% regression)",
+    )
+    perf.add_argument(
+        "--baseline-label", default=None,
+        help="gate against the last --check entry with this label "
+        "instead of the file's last entry (CI uses the pre-refactor "
+        "entry: absolute events/sec varies across runner hardware, so "
+        "gating against a fast machine's best-of-8 would flake)",
+    )
+
     chaos = commands.add_parser(
         "chaos", help="an update cycle under a fault plan + recovery audit"
     )
@@ -535,7 +678,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="total update cycles (the first is the fault-free bootstrap)",
     )
 
-    for sub in (demo, fig5, fig9, month, dedup_sweep, report, observe, chaos):
+    for sub in (
+        demo, fig5, fig9, month, dedup_sweep, report, observe, perf, chaos,
+    ):
         sub.add_argument(
             "--json", action="store_true",
             help="emit machine-readable JSON instead of tables",
@@ -550,6 +695,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "dedup-sweep": _cmd_dedup_sweep,
         "report": _cmd_report,
         "observe": _cmd_observe,
+        "perf": _cmd_perf,
         "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)

@@ -54,6 +54,12 @@ class DirectLoadConfig:
     release_thresholds: ReleaseThresholds = field(default_factory=ReleaseThresholds)
     cross_region_share: float = 0.007
 
+    # Observability.  Tracing on is the default (reports carry stage
+    # breakdowns); perf-bench scenarios turn it off to exercise the
+    # allocation-free null-tracer path, which must not change any
+    # delivered byte (see tests/integration/test_perf_equivalence.py).
+    tracing_enabled: bool = True
+
     seed: int = 2019
 
     def __post_init__(self) -> None:

@@ -95,7 +95,7 @@ class DirectLoad:
         #: registers live counter views here, and the whole update cycle
         #: is traced in simulated time (see :mod:`repro.obs`)
         self.metrics = MetricsRegistry()
-        self.tracer = Tracer(self.sim)
+        self.tracer = Tracer(self.sim, enabled=self.config.tracing_enabled)
         self.topology = build_topology(self.sim, self.config.topology)
         self.monitor = NetworkMonitor(self.topology)
         self.monitor.start()

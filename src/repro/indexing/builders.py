@@ -41,6 +41,22 @@ def _padded(payload: bytes, target_bytes: int) -> bytes:
 
 _BLOCK_BYTES = 64
 
+#: (cycle, term) -> block digest.  The block derives from nothing else,
+#: and the same pairs recur across every document sharing a term and
+#: every generation cycle, so the memo returns identical bytes to
+#: recomputation.  Bounded by vocabulary x observed cycles.
+_block_cache: dict = {}
+
+
+def _term_block(cycle: int, term: str) -> bytes:
+    block = _block_cache.get((cycle, term))
+    if block is None:
+        block = hashlib.blake2b(
+            f"{cycle}|{term}".encode(), digest_size=_BLOCK_BYTES
+        ).digest()
+        _block_cache[(cycle, term)] = block
+    return block
+
 
 def _expanded(terms: List[str], target_bytes: int, payload: bytes) -> bytes:
     """Expand ``terms`` into a ``target_bytes`` value with *local* change
@@ -59,15 +75,11 @@ def _expanded(terms: List[str], target_bytes: int, payload: bytes) -> bytes:
     if target_bytes <= len(payload) or not terms:
         return _padded(payload, target_bytes)
     blocks_needed = -(-(target_bytes - len(payload)) // _BLOCK_BYTES)
-    blocks = []
-    for index in range(blocks_needed):
-        term = terms[index % len(terms)]
-        cycle = index // len(terms)
-        blocks.append(
-            hashlib.blake2b(
-                f"{cycle}|{term}".encode(), digest_size=_BLOCK_BYTES
-            ).digest()
-        )
+    nterms = len(terms)
+    blocks = [
+        _term_block(index // nterms, terms[index % nterms])
+        for index in range(blocks_needed)
+    ]
     return (payload + b"".join(blocks))[:target_bytes]
 
 

@@ -86,6 +86,10 @@ class MintCluster:
         self.stale_slices_dropped = 0
         #: optional trace track (``obs.TraceTrack``) for ingest spans
         self.trace = None
+        #: key -> group memo; group membership is fixed at construction
+        #: (node faults flip ``is_up`` inside a group), so entries never
+        #: go stale
+        self._group_cache: Dict[bytes, NodeGroup] = {}
 
     def _default_engine(self, node_name: str) -> Engine:
         return QinDB.with_capacity(
@@ -99,8 +103,12 @@ class MintCluster:
         return [node for group in self.groups for node in group.nodes]
 
     def group_for(self, key: bytes) -> NodeGroup:
-        """The paper's ``H(k)`` -> group mapping."""
-        return self.groups[stable_hash(key) % len(self.groups)]
+        """The paper's ``H(k)`` -> group mapping (memoized per key)."""
+        group = self._group_cache.get(key)
+        if group is None:
+            group = self.groups[stable_hash(key) % len(self.groups)]
+            self._group_cache[key] = group
+        return group
 
     # ------------------------------------------------------------------
     def put(self, key: bytes, version: int, value: Optional[bytes]) -> int:

@@ -51,6 +51,12 @@ class NodeGroup:
         self.park_when_unavailable = False
         #: parked ``(key, version, value)`` writes awaiting a live replica
         self.pending_writes: List = []
+        #: key -> replica nodes, memoizing the rendezvous ranking.  Valid
+        #: until *membership* changes (add/remove); node crashes and
+        #: restarts only flip ``is_up`` and never move placement, so the
+        #: cache survives them — exactly the paper's stability argument.
+        self._placement_cache: Dict[bytes, List[StorageNode]] = {}
+        self._member_names: List[str] = []
         for node in nodes:
             self.add_node(node)
 
@@ -81,6 +87,8 @@ class NodeGroup:
         if node.name in self._nodes:
             raise ClusterError(f"duplicate node name {node.name!r}")
         self._nodes[node.name] = node
+        self._member_names = sorted(self._nodes)
+        self._placement_cache.clear()
 
     def remove_node(self, name: str) -> StorageNode:
         """Leave the group (e.g. decommissioning)."""
@@ -89,13 +97,24 @@ class NodeGroup:
                 f"removing {name!r} would leave group {self.group_id} "
                 f"below {self.replica_count} replicas"
             )
-        return self._nodes.pop(name)
+        node = self._nodes.pop(name)
+        self._member_names = sorted(self._nodes)
+        self._placement_cache.clear()
+        return node
 
     # ------------------------------------------------------------------
     def replicas_for(self, key: bytes) -> List[StorageNode]:
-        """The ``replica_count`` nodes responsible for ``key``."""
-        ranked = rendezvous_ranking(sorted(self._nodes), key)
-        return [self._nodes[name] for name in ranked[: self.replica_count]]
+        """The ``replica_count`` nodes responsible for ``key``.
+
+        Memoized per key (callers must not mutate the returned list);
+        membership changes invalidate the cache.
+        """
+        nodes = self._placement_cache.get(key)
+        if nodes is None:
+            ranked = rendezvous_ranking(self._member_names, key)
+            nodes = [self._nodes[name] for name in ranked[: self.replica_count]]
+            self._placement_cache[key] = nodes
+        return nodes
 
     def put(self, key: bytes, version: int, value: Optional[bytes]) -> int:
         """Write to every live replica; returns the number written.
@@ -136,35 +155,52 @@ class NodeGroup:
         """
         if not items:
             return 0
-        per_node: Dict[str, List] = {}
-        per_node_indices: Dict[str, List[int]] = {}
-        for index, item in enumerate(items):
-            for node in self.replicas_for(item[0]):
-                per_node.setdefault(node.name, []).append(item)
-                per_node_indices.setdefault(node.name, []).append(index)
-        written_per_item = [0] * len(items)
+        # Buckets key on the node *object* (identity hash), sparing the
+        # per-item-per-replica ``node.name`` attribute loads.
+        per_node: Dict[StorageNode, List] = {}
+        replicas_for = self.replicas_for
+        get_bucket = per_node.get
+        for item in items:
+            for node in replicas_for(item[0]):
+                bucket = get_bucket(node)
+                if bucket is None:
+                    per_node[node] = [item]
+                else:
+                    bucket.append(item)
+        written = 0
+        delivered: set = set()
+        any_down = False
         for node in self.nodes:
-            sub_batch = per_node.get(node.name)
+            sub_batch = per_node.get(node)
             if not sub_batch:
                 continue
             try:
                 node.put_batch(sub_batch)
             except NodeDownError:
+                any_down = True
                 for key, version, _value in sub_batch:
                     self._note_missed(node.name, "put", key, version)
                 continue
-            for index in per_node_indices[node.name]:
-                written_per_item[index] += 1
-        for index, written in enumerate(written_per_item):
-            if written == 0:
-                if self.park_when_unavailable:
-                    self.pending_writes.append(items[index])
-                    continue
-                raise ReplicationError(
-                    f"no live replica for key {items[index][0]!r} in "
-                    f"group {self.group_id}"
-                )
-        return sum(written_per_item)
+            written += len(sub_batch)
+            delivered.add(node)
+        if not any_down:
+            # Every replica took its sub-batch, so no item can be
+            # replica-less; skip the per-item accounting pass.  (The
+            # happy path carries no per-item index bookkeeping at all —
+            # the failure pass below re-derives placement from the
+            # memoized ``replicas_for``.)
+            return written
+        for item in items:
+            if any(node in delivered for node in replicas_for(item[0])):
+                continue
+            if self.park_when_unavailable:
+                self.pending_writes.append(item)
+                continue
+            raise ReplicationError(
+                f"no live replica for key {item[0]!r} in "
+                f"group {self.group_id}"
+            )
+        return written
 
     def _unpark(self, dropping) -> None:
         """Discard parked writes for deleted ``(key, version)`` pairs.
@@ -263,13 +299,13 @@ class NodeGroup:
         """
         if not items:
             return 0
-        per_node: Dict[str, List] = {}
+        per_node: Dict[StorageNode, List] = {}
         for item in items:
             for node in self.replicas_for(item[0]):
-                per_node.setdefault(node.name, []).append(item)
+                per_node.setdefault(node, []).append(item)
         deleted = 0
         for node in self.nodes:
-            sub_batch = per_node.get(node.name)
+            sub_batch = per_node.get(node)
             if not sub_batch:
                 continue
             try:

@@ -62,6 +62,34 @@ class MetricsSnapshot:
         }
 
 
+#: reads a whole row of related counters in one call
+RowReader = Callable[[], Iterable[float]]
+
+
+class _ArrayView:
+    """One row-reader backing several dotted names.
+
+    ``read_row()`` returns a sequence; member ``prefix.suffixes[i]``
+    reads ``row[indices[i]]``.  A snapshot calls the row reader *once*
+    for the whole group instead of once per member — for wide per-hop
+    counter families (every link exports bytes/transfers/errors/state)
+    that cuts both the closures held per link and the calls per
+    snapshot by the family width.
+    """
+
+    __slots__ = ("prefix", "suffixes", "indices", "read_row")
+
+    def __init__(self, prefix, suffixes, indices, read_row) -> None:
+        self.prefix = prefix
+        self.suffixes = suffixes
+        self.indices = indices
+        self.read_row = read_row
+
+    def names(self) -> List[str]:
+        prefix = self.prefix
+        return [f"{prefix}.{suffix}" for suffix in self.suffixes]
+
+
 class MetricsRegistry:
     """Dotted-name registry of live counter/gauge views.
 
@@ -71,28 +99,74 @@ class MetricsRegistry:
     :class:`~repro.core.directload.DirectLoad` owns one — but a
     process-wide default exists for scripts that want a shared plane
     (:func:`get_default_registry`).
+
+    Metrics register either one at a time (:meth:`register`) or as an
+    *array view* (:meth:`register_array`): one callable returning a row
+    of values that backs a whole family of names.  Both kinds occupy one
+    slot in registration order, so :meth:`collect` — and therefore
+    snapshot and report contents — are identical whichever way a family
+    was registered.
     """
 
     def __init__(self) -> None:
+        #: registration order: scalar names (str) and array groups
+        self._order: List = []
+        #: scalar name -> reader
         self._metrics: Dict[str, MetricReader] = {}
+        #: array member name -> (group, row index)
+        self._members: Dict[str, tuple] = {}
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        return len(self._metrics) + len(self._members)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        return name in self._metrics or name in self._members
 
     # ------------------------------------------------------------------
+    def _validate(self, name: str, replace: bool) -> None:
+        if not name or name.startswith(".") or name.endswith("."):
+            raise ConfigError(f"invalid metric name {name!r}")
+        if name in self and not replace:
+            raise ConfigError(f"metric {name!r} already registered")
+
+    def _drop(self, name: str) -> None:
+        """Remove one name, splitting its array group if it has one."""
+        if self._metrics.pop(name, None) is not None:
+            self._order.remove(name)
+            return
+        entry = self._members.pop(name, None)
+        if entry is None:
+            return
+        group, _index = entry
+        keep = [
+            (suffix, index)
+            for suffix, index in zip(group.suffixes, group.indices)
+            if f"{group.prefix}.{suffix}" != name
+        ]
+        position = self._order.index(group)
+        if keep:
+            survivor = _ArrayView(
+                group.prefix,
+                tuple(suffix for suffix, _ in keep),
+                tuple(index for _, index in keep),
+                group.read_row,
+            )
+            self._order[position] = survivor
+            for suffix, index in keep:
+                self._members[f"{group.prefix}.{suffix}"] = (survivor, index)
+        else:
+            del self._order[position]
+
     def register(
         self, name: str, read: MetricReader, replace: bool = False
     ) -> None:
         """Register ``name`` -> ``read()``; duplicate names are an error
         unless ``replace`` is set (component re-created in place)."""
-        if not name or name.startswith(".") or name.endswith("."):
-            raise ConfigError(f"invalid metric name {name!r}")
-        if name in self._metrics and not replace:
-            raise ConfigError(f"metric {name!r} already registered")
+        self._validate(name, replace)
+        if name in self:
+            self._drop(name)
         self._metrics[name] = read
+        self._order.append(name)
 
     def register_many(
         self, prefix: str, readers: Dict[str, MetricReader], replace: bool = False
@@ -101,37 +175,105 @@ class MetricsRegistry:
         for suffix, read in readers.items():
             self.register(f"{prefix}.{suffix}", read, replace=replace)
 
+    def register_array(
+        self,
+        prefix: str,
+        suffixes: Iterable[str],
+        read_row: RowReader,
+        replace: bool = False,
+    ) -> None:
+        """Register ``prefix.suffix`` per suffix, all backed by one
+        row-reader.
+
+        ``read_row()`` must return one value per suffix, in suffix
+        order.  The family shows up in every query exactly as if each
+        member had been registered individually; only the storage (one
+        callable, not one per member) and the snapshot cost (one call,
+        not one per member) differ.
+        """
+        suffixes = tuple(suffixes)
+        if not suffixes:
+            raise ConfigError(f"array view {prefix!r} needs at least one suffix")
+        names = [f"{prefix}.{suffix}" for suffix in suffixes]
+        for name in names:
+            self._validate(name, replace)
+        for name in names:
+            if name in self:
+                self._drop(name)
+        group = _ArrayView(
+            prefix, suffixes, tuple(range(len(suffixes))), read_row
+        )
+        self._order.append(group)
+        for index, name in enumerate(names):
+            self._members[name] = (group, index)
+
     def unregister_prefix(self, prefix: str) -> int:
         """Drop every metric under ``prefix``; returns how many died."""
-        doomed = [name for name in self._metrics if _matches(name, prefix)]
+        doomed = [
+            name
+            for name in list(self._metrics) + list(self._members)
+            if _matches(name, prefix)
+        ]
         for name in doomed:
-            del self._metrics[name]
+            self._drop(name)
         return len(doomed)
 
     # ------------------------------------------------------------------
     def names(self, prefix: Optional[str] = None) -> List[str]:
         """Registered names (under ``prefix``), sorted."""
-        return sorted(n for n in self._metrics if _matches(n, prefix))
+        return sorted(
+            name
+            for name in list(self._metrics) + list(self._members)
+            if _matches(name, prefix)
+        )
 
     def value(self, name: str) -> float:
         """Read one metric live."""
+        read = self._metrics.get(name)
+        if read is not None:
+            return float(read())
         try:
-            read = self._metrics[name]
+            group, index = self._members[name]
         except KeyError:
             raise ConfigError(f"no metric named {name!r}") from None
-        return float(read())
+        return float(tuple(group.read_row())[index])
 
     def collect(self, prefix: Optional[str] = None) -> Dict[str, float]:
         """Materialize every (matching) metric into a plain dict.
 
         This is the shape :class:`~repro.core.metrics.ThroughputSampler`
         snapshots, so a registry drops in wherever a counter dict did.
+        Array-view families read their row once per collect.
         """
-        return {
-            name: float(read())
-            for name, read in self._metrics.items()
-            if _matches(name, prefix)
-        }
+        out: Dict[str, float] = {}
+        metrics = self._metrics
+        for entry in self._order:
+            if entry.__class__ is str:
+                if _matches(entry, prefix):
+                    out[entry] = float(metrics[entry]())
+                continue
+            entry_prefix = entry.prefix
+            if prefix is not None and not _matches(
+                entry_prefix, prefix
+            ):
+                wanted = [
+                    (f"{entry_prefix}.{suffix}", index)
+                    for suffix, index in zip(entry.suffixes, entry.indices)
+                    if _matches(f"{entry_prefix}.{suffix}", prefix)
+                ]
+                if not wanted:
+                    continue
+                row = tuple(entry.read_row())
+                for name, index in wanted:
+                    out[name] = float(row[index])
+                continue
+            row = tuple(entry.read_row())
+            indices = entry.indices
+            for position, suffix in enumerate(entry.suffixes):
+                out[f"{entry_prefix}.{suffix}"] = float(
+                    row[indices[position]]
+                )
+        return out
 
     def snapshot(
         self, prefix: Optional[str] = None, at: float = 0.0

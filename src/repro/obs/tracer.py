@@ -44,7 +44,7 @@ def _as_clock(source) -> Clock:
     raise ConfigError(f"clock source {source!r} has no .now and is not callable")
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One timed region of the pipeline."""
 
@@ -75,6 +75,63 @@ class Span:
             "parent_id": self.parent_id,
             "attrs": dict(self.attrs),
         }
+
+
+class _NullAttrs(dict):
+    """Write-discarding attrs shared by the disabled tracer's one span.
+
+    The null span is a process-wide singleton, so accepting (and
+    dropping) writes keeps instrumented code identical on both paths —
+    no ``if tracer.enabled`` at call sites — without accumulating state.
+    """
+
+    def __setitem__(self, key, value) -> None:
+        pass
+
+    def setdefault(self, key, default=None):
+        return default
+
+    def update(self, *args, **kwargs) -> None:
+        pass
+
+
+class _NullSpan:
+    """The disabled tracer's span: every field inert, nothing recorded."""
+
+    __slots__ = ()
+
+    span_id = 0
+    name = ""
+    track = ""
+    start_s = 0.0
+    end_s = 0.0
+    parent_id = None
+    attrs = _NullAttrs()
+    finished = True
+    duration_s = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    """``span()``'s return when tracing is off: reusable, allocation-free."""
+
+    __slots__ = ()
+
+    span = _NULL_SPAN
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullSpanContext()
 
 
 class _SpanContext:
@@ -124,6 +181,8 @@ class TraceTrack:
     def span(
         self, name: str, parent: Optional[Span] = None, **attrs
     ) -> _SpanContext:
+        if not self.tracer.enabled:
+            return _NULL_CONTEXT
         return _SpanContext(
             self.tracer, name, self.name, self._clock, attrs, parent=parent
         )
@@ -132,8 +191,11 @@ class TraceTrack:
 class Tracer:
     """Collects hierarchical spans across all tracks of one system."""
 
-    def __init__(self, clock) -> None:
+    def __init__(self, clock, enabled: bool = True) -> None:
         self._clock = _as_clock(clock)
+        #: the null path: when False, ``span()`` hands out one shared
+        #: inert context and nothing is ever recorded or allocated
+        self.enabled = bool(enabled)
         self.spans: List[Span] = []
         self._open_stacks: Dict[str, List[Span]] = {}
         #: tracks whose clock differs from the tracer's (never parent
@@ -158,6 +220,8 @@ class Tracer:
         open.  A nested span (non-empty stack) always parents to the
         track's innermost open span; ``parent`` is ignored there.
         """
+        if not self.enabled:
+            return _NULL_CONTEXT
         return _SpanContext(self, name, track, self._clock, attrs, parent=parent)
 
     def track(self, name: str, clock=None) -> TraceTrack:

@@ -13,8 +13,7 @@ skip-list items.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Tuple
 
 from repro.errors import StorageError
 from repro.qindb.records import Record, decode_record, encode_record, scan_records
@@ -24,9 +23,14 @@ from repro.ssd.native import NativeBlockInterface, NativeUnit
 DEFAULT_SEGMENT_BYTES = 64 * 1024 * 1024
 
 
-@dataclass(frozen=True, order=True)
-class RecordLocation:
-    """Durable address of one record: which segment, at which offset."""
+class RecordLocation(NamedTuple):
+    """Durable address of one record: which segment, at which offset.
+
+    A NamedTuple rather than a dataclass: one is built per appended
+    record on the batched write path, and tuple construction is several
+    times cheaper while keeping the same field names, ordering,
+    hashability, and repr.
+    """
 
     segment_id: int
     offset: int
@@ -84,19 +88,51 @@ class AofSegment:
         """
         if self.is_full:
             raise StorageError(f"segment {self.segment_id} is full")
-        encoded: List[bytes] = []
+        return self.append_encoded_batch(
+            [encode_record(record) for record in records], _checked=True
+        )
+
+    def append_encoded_batch(
+        self, encoded: List[bytes], _checked: bool = False
+    ) -> List[RecordLocation]:
+        """:meth:`append_batch` for pre-encoded frames (the hot path).
+
+        Accepts a prefix of ``encoded`` exactly as :meth:`append_batch`
+        would, returning its locations; the caller rolls the rest into
+        the next segment.
+        """
+        if not _checked and self.is_full:
+            raise StorageError(f"segment {self.segment_id} is full")
         size = self.size
-        for record in records:
-            if size >= self.capacity_bytes:
-                break
-            data = encode_record(record)
-            encoded.append(data)
-            size += len(data)
+        capacity = self.capacity_bytes
+        lengths = list(map(len, encoded))
+        total = len(encoded)
+        # A record is admitted while the segment is not yet full *before*
+        # it is appended, so the whole batch fits iff the size just
+        # before the last record is still under capacity.
+        if total and size + sum(lengths) - lengths[-1] < capacity:
+            accepted = total
+        else:
+            accepted = total
+            for index, length in enumerate(lengths):
+                if size >= capacity:
+                    accepted = index
+                    break
+                size += length
+        if accepted < total:
+            encoded = encoded[:accepted]
+            lengths = lengths[:accepted]
         offsets = self._unit.append_many(encoded)
         self.record_count += len(encoded)
+        segment_id = self.segment_id
+        # tuple.__new__ directly: RecordLocation is a NamedTuple, and
+        # skipping its Python-level __new__ wrapper saves a frame per
+        # record on the hot path.
+        new_location = tuple.__new__
+        cls = RecordLocation
         return [
-            RecordLocation(self.segment_id, offset, len(data))
-            for offset, data in zip(offsets, encoded)
+            new_location(cls, (segment_id, offset, length))
+            for offset, length in zip(offsets, lengths)
         ]
 
     def read(self, location: RecordLocation) -> Record:
@@ -268,15 +304,30 @@ class AofManager:
         coalesce into multi-page device programs.  Segment split points
         match what sequential :meth:`append` calls would produce.
         """
+        return self.append_encoded_batch(
+            [encode_record(record) for record in records]
+        )
+
+    def append_encoded_batch(
+        self, encoded: List[bytes]
+    ) -> List[RecordLocation]:
+        """:meth:`append_batch` for pre-encoded frames (the hot path)."""
         locations: List[RecordLocation] = []
         index = 0
-        while index < len(records):
+        total = len(encoded)
+        while index < total:
             segment = self._active
             if segment is None or segment.is_full:
                 segment = self._open_segment()
-            accepted = segment.append_batch(records[index:])
-            for location in accepted:
-                self.bytes_appended += location.length
+            accepted = segment.append_encoded_batch(
+                encoded if index == 0 else encoded[index:]
+            )
+            self.bytes_appended += sum(
+                location.length for location in accepted
+            )
+            if index == 0 and len(accepted) == total:
+                # Common case: the whole batch fit in the active segment.
+                return accepted
             locations.extend(accepted)
             index += len(accepted)
         return locations

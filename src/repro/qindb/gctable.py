@@ -43,6 +43,10 @@ class GCTable:
             raise StorageError(f"GC threshold must be in (0, 1), got {threshold}")
         self.threshold = threshold
         self._segments: Dict[int, SegmentOccupancy] = {}
+        #: segment ids currently at or below the threshold — maintained
+        #: on every accounting change so :meth:`victims` scans only the
+        #: (few) collectable rows instead of every live segment per call
+        self._below: set = set()
 
     # ------------------------------------------------------------------
     def entry(self, segment_id: int) -> SegmentOccupancy:
@@ -53,9 +57,54 @@ class GCTable:
             self._segments[segment_id] = row
         return row
 
+    def _update_membership(self, row: SegmentOccupancy) -> None:
+        # Same expression as :meth:`victims` used when it scanned every
+        # row, so membership is exactly the set that scan would select.
+        if row.total_bytes and row.occupancy <= self.threshold:
+            self._below.add(row.segment_id)
+        else:
+            self._below.discard(row.segment_id)
+
     def record_appended(self, segment_id: int, nbytes: int) -> None:
         """Account freshly appended record bytes to a segment."""
-        self.entry(segment_id).total_bytes += nbytes
+        row = self.entry(segment_id)
+        row.total_bytes += nbytes
+        if row.dead_bytes:
+            self._update_membership(row)
+
+    def record_appended_many(self, locations) -> None:
+        """Batch :meth:`record_appended`: one row update per segment.
+
+        Equivalent to calling :meth:`record_appended` per location —
+        appends only ever sum into ``total_bytes`` — but a slice-sized
+        batch touches each segment row once instead of once per record.
+        """
+        if not locations:
+            return
+        first = locations[0].segment_id
+        if locations[-1].segment_id == first:
+            # Slice-sized appends almost always land in one segment.
+            self.record_appended(
+                first, sum(location.length for location in locations)
+            )
+            return
+        totals: Dict[int, int] = {}
+        get = totals.get
+        for location in locations:
+            segment_id = location.segment_id
+            totals[segment_id] = get(segment_id, 0) + location.length
+        for segment_id, nbytes in totals.items():
+            self.record_appended(segment_id, nbytes)
+
+    def record_dead_many(self, locations) -> None:
+        """Batch :meth:`record_dead` for locations that died together."""
+        totals: Dict[int, int] = {}
+        get = totals.get
+        for location in locations:
+            segment_id = location.segment_id
+            totals[segment_id] = get(segment_id, 0) + location.length
+        for segment_id, nbytes in totals.items():
+            self.record_dead(segment_id, nbytes)
 
     def record_dead(self, segment_id: int, nbytes: int) -> None:
         """Account record bytes that just became dead (delete/overwrite)."""
@@ -66,10 +115,12 @@ class GCTable:
                 f"segment {segment_id} accounting corrupt: "
                 f"dead {row.dead_bytes} > total {row.total_bytes}"
             )
+        self._update_membership(row)
 
     def forget(self, segment_id: int) -> None:
         """Drop a segment's row after the segment is erased."""
         self._segments.pop(segment_id, None)
+        self._below.discard(segment_id)
 
     # ------------------------------------------------------------------
     def occupancy(self, segment_id: int) -> float:
@@ -79,10 +130,14 @@ class GCTable:
 
     def victims(self, exclude: frozenset | set = frozenset()) -> List[int]:
         """Segments at or below the occupancy threshold, worst first."""
+        below = self._below
+        if not below:
+            return []
+        segments = self._segments
         candidates = [
-            row
-            for row in self._segments.values()
-            if row.segment_id not in exclude and row.occupancy <= self.threshold
+            segments[segment_id]
+            for segment_id in below
+            if segment_id not in exclude
         ]
         candidates.sort(key=lambda row: (row.occupancy, row.segment_id))
         return [row.segment_id for row in candidates]

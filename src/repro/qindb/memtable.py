@@ -14,7 +14,7 @@ adjacent in increasing version order, so:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.qindb.aof import RecordLocation
 from repro.qindb.skiplist import SkipListMap
@@ -25,7 +25,7 @@ from repro.qindb.skiplist import SkipListMap
 ItemKey = Tuple[bytes, int]
 
 
-@dataclass
+@dataclass(slots=True)
 class IndexItem:
     """One memtable entry: where the record lives, plus the two flags."""
 
@@ -46,6 +46,9 @@ class Memtable:
 
     def __init__(self, seed: int = 0x51DB) -> None:
         self._items = SkipListMap(seed=seed)
+        #: (key, version) -> item, mirroring the skip list for O(1) point
+        #: lookups that do *not* model a search (see :meth:`lookup`)
+        self._by_key: Dict[ItemKey, IndexItem] = {}
         #: approximate resident bytes (keys + per-item overhead), the ``M``
         #: term in the RUM accounting
         self.approximate_bytes = 0
@@ -68,12 +71,16 @@ class Memtable:
         just became dead), else None.
         """
         item_key: ItemKey = (key, version)
-        previous = self._items.get(item_key, default=None)
+        # The previous item comes from the mirror dict: the skip-list
+        # insert below performs the one search whose step count the CPU
+        # cost model charges, exactly as before.
+        previous = self._by_key.get(item_key)
         item = IndexItem(
             location=location, deduplicated=deduplicated, sequence=sequence
         )
         if self._items.insert(item_key, item):
             self.approximate_bytes += len(key) + 8 + 40
+        self._by_key[item_key] = item
         return previous
 
     def put_batch(
@@ -88,29 +95,51 @@ class Memtable:
         as sequential puts).  Returns the replaced previous
         :class:`IndexItem` (or None) per entry, in the same order.
         """
-        pairs = [
-            (
-                (key, version),
-                IndexItem(
-                    location=location,
-                    deduplicated=deduplicated,
-                    sequence=sequence,
-                ),
-            )
-            for key, version, location, deduplicated, sequence in entries
-        ]
-        previous: list = []
-        for (item_key, _item), (was_new, replaced) in zip(
-            pairs, self._items.insert_batch(pairs)
-        ):
-            if was_new:
-                self.approximate_bytes += len(item_key[0]) + 8 + 40
-            previous.append(replaced)
-        return previous
+        return self.put_batch_pairs(
+            [
+                (
+                    (key, version),
+                    IndexItem(location, deduplicated, False, sequence),
+                )
+                for key, version, location, deduplicated, sequence in entries
+            ]
+        )
+
+    def put_batch_pairs(self, pairs: list) -> list:
+        """:meth:`put_batch` over pre-built ``(item_key, item)`` pairs.
+
+        The hot ingest path: the engine constructs the
+        ``((key, version), IndexItem)`` pairs directly (sorted by item
+        key, stable), skipping the intermediate 5-tuple unpack.
+        """
+        results = self._items.insert_batch(pairs)
+        # dict.update consumes the (item_key, item) pairs in one C loop;
+        # input order means a duplicated key applies last-writer-wins,
+        # same as the per-item assignment did.
+        self._by_key.update(pairs)
+        self.approximate_bytes += sum(
+            len(pair[0][0]) + 48
+            for pair, result in zip(pairs, results)
+            if result[0]
+        )
+        return [replaced for _was_new, replaced in results]
 
     def get(self, key: bytes, version: int) -> Optional[IndexItem]:
-        """The item for (key, version), or None."""
+        """The item for (key, version), or None.
+
+        Performs a real skip-list search so
+        :attr:`last_search_steps` models the lookup's cost.
+        """
         return self._items.get((key, version), default=None)
+
+    def lookup(self, key: bytes, version: int) -> Optional[IndexItem]:
+        """O(1) point lookup via the mirror dict.
+
+        Does NOT touch :attr:`last_search_steps` — for callers that
+        validate many items but charge only one search (the batched
+        delete path), or that account their cost elsewhere.
+        """
+        return self._by_key.get((key, version))
 
     def mark_deleted(self, key: bytes, version: int) -> Optional[IndexItem]:
         """Set the ``d`` flag; returns the item, or None if absent."""
@@ -122,6 +151,7 @@ class Memtable:
     def drop(self, key: bytes, version: int) -> None:
         """Remove the item entirely (GC of an unreferenced dead record)."""
         self._items.remove((key, version))
+        del self._by_key[(key, version)]
         self.approximate_bytes -= len(key) + 8 + 40
 
     def resolve(

@@ -40,6 +40,9 @@ class SkipListMap:
         self._random = random.Random(seed)
         #: comparisons performed by the most recent search, for cost models
         self.last_search_steps = 0
+        #: sum of every live node's height — lets :meth:`insert_batch`
+        #: compute its charged hop count in closed form (see there)
+        self._total_heights = 0
 
     def __len__(self) -> int:
         return self._length
@@ -59,11 +62,15 @@ class SkipListMap:
         update: List[_Node] = [self._head] * MAX_LEVEL
         node = self._head
         steps = 0
-        for level in range(self._level - 1, -1, -1):
-            while node.forward[level] is not None and node.forward[level].key < key:
-                node = node.forward[level]
+        level = self._level - 1
+        while level >= 0:
+            next_node = node.forward[level]
+            while next_node is not None and next_node.key < key:
+                node = next_node
+                next_node = node.forward[level]
                 steps += 1
             update[level] = node
+            level -= 1
         self.last_search_steps = steps + self._level
         return update
 
@@ -77,7 +84,20 @@ class SkipListMap:
         self.last_search_steps += steps
 
     def _find(self, key: Any) -> Optional[_Node]:
-        node = self._find_predecessors(key)[0].forward[0]
+        # Same descent (and step accounting) as _find_predecessors, but
+        # point lookups skip materialising the 32-slot update list.
+        node = self._head
+        steps = 0
+        level = self._level - 1
+        while level >= 0:
+            next_node = node.forward[level]
+            while next_node is not None and next_node.key < key:
+                node = next_node
+                next_node = node.forward[level]
+                steps += 1
+            level -= 1
+        self.last_search_steps = steps + self._level
+        node = node.forward[0]
         if node is not None and node.key == key:
             return node
         return None
@@ -98,6 +118,7 @@ class SkipListMap:
             node.forward[i] = update[i].forward[i]
             update[i].forward[i] = node
         self._length += 1
+        self._total_heights += level
         return True
 
     def insert_batch(
@@ -117,39 +138,114 @@ class SkipListMap:
         (``previous_value`` is None for fresh keys).  The whole batch
         charges :attr:`last_search_steps` as a single search: total hops
         plus one descent's level count.
+
+        The charged hop count has a closed form.  A sorted batch's
+        search finger visits every level-``l`` node below the batch's
+        largest key exactly once per level it appears on, so the total
+        is simply the sum of the heights of all nodes (at batch end)
+        whose key precedes the largest batch key.  That lets this method
+        skip the O(span) finger walk entirely: each key is placed with
+        an ordinary O(log n) descent, and the charge comes from the
+        maintained :attr:`_total_heights` minus a short walk over the
+        nodes *past* the largest key — identical ``last_search_steps``
+        to the walked form, without touching the span.
         """
+        if not pairs:
+            self.last_search_steps = self._level
+            return []
         results: List[Tuple[bool, Any]] = []
-        update: List[_Node] = [self._head] * MAX_LEVEL
-        steps = 0
+        append_result = results.append
+        head = self._head
+        update: List[_Node] = [head] * MAX_LEVEL
+        #: per-level search finger: ``nexts[level]`` mirrors
+        #: ``update[level].forward[level]`` so levels whose successor is
+        #: already past the next key cost one cached compare
+        nexts: List[Optional[_Node]] = list(head.forward)
         previous_key: Any = None
+        # Hot loop: locals bound once per batch.  The inlined level draw
+        # makes the identical sequence of ``random()`` calls the
+        # out-of-line ``_random_level`` would, so seeded structures are
+        # unchanged.
+        random_fn = self._random.random
+        new_node = object.__new__
+        node_cls = _Node
         for key, value in pairs:
             if previous_key is not None and key < previous_key:
                 raise ValueError("insert_batch requires non-descending keys")
-            for level in range(self._level - 1, -1, -1):
-                node = update[level]
-                while (
-                    node.forward[level] is not None
-                    and node.forward[level].key < key
-                ):
-                    node = node.forward[level]
-                    steps += 1
+            # Finger walk on levels >= 1 only: level 0 holds ~all nodes,
+            # so fingering it would visit the whole batch span.  Instead
+            # the level-0 predecessor is reached by a short walk from the
+            # nearer of the level-1 predecessor and the previous key's
+            # level-0 predecessor (both provably precede ``key``).
+            #
+            # The walk runs bottom-up and stops at the first level whose
+            # cached successor is already at or past ``key``: finger keys
+            # are nondecreasing in level (each insert writes its own key
+            # into every level it spans, walks only move fingers forward
+            # in key order), so no higher level can need movement either
+            # — its stale ``update`` entry is still the predecessor.
+            top = self._level
+            level = 1
+            while level < top:
+                next_node = nexts[level]
+                if next_node is None or not next_node.key < key:
+                    break
+                node = next_node
+                next_node = node.forward[level]
+                while next_node is not None and next_node.key < key:
+                    node = next_node
+                    next_node = node.forward[level]
                 update[level] = node
-            candidate = update[0].forward[0]
-            if candidate is not None and candidate.key == key:
-                results.append((False, candidate.value))
-                candidate.value = value
+                nexts[level] = next_node
+                level += 1
+            node = update[0]
+            other = update[1]
+            if other is not head and (node is head or node.key < other.key):
+                node = other
+            next_node = node.forward[0]
+            while next_node is not None and next_node.key < key:
+                node = next_node
+                next_node = node.forward[0]
+            update[0] = node
+            if next_node is not None and next_node.key == key:
+                append_result((False, next_node.value))
+                next_node.value = value
             else:
-                level = self._random_level()
+                level = 1
+                while level < MAX_LEVEL and random_fn() < _P:
+                    level += 1
                 if level > self._level:
                     self._level = level
-                node = _Node(key, value, level)
-                for i in range(level):
-                    node.forward[i] = update[i].forward[i]
-                    update[i].forward[i] = node
+                node = new_node(node_cls)
+                node.key = key
+                node.value = value
+                node.forward = forward = [None] * level
+                if level == 1:
+                    # 1 - _P of inserts have height 1; skip the loop.
+                    predecessor = update[0]
+                    forward[0] = predecessor.forward[0]
+                    predecessor.forward[0] = node
+                    nexts[0] = node
+                else:
+                    for i in range(level):
+                        predecessor = update[i]
+                        forward[i] = predecessor.forward[i]
+                        predecessor.forward[i] = node
+                        nexts[i] = node
                 self._length += 1
-                results.append((True, None))
+                self._total_heights += level
+                append_result((True, None))
             previous_key = key
-        self.last_search_steps = steps + self._level
+        # Charge the finger-walk hop count in closed form: heights of
+        # everything below the largest key = total heights minus the
+        # tail at or past it.  ``update[0]`` still holds the largest
+        # key's predecessor, so the tail walk starts at that key's node.
+        tail = 0
+        node = update[0].forward[0]
+        while node is not None:
+            tail += len(node.forward)
+            node = node.forward[0]
+        self.last_search_steps = self._total_heights - tail + self._level
         return results
 
     def get(self, key: Any, default: Any = KeyNotFoundError) -> Any:
@@ -173,6 +269,7 @@ class SkipListMap:
         while self._level > 1 and self._head.forward[self._level - 1] is None:
             self._level -= 1
         self._length -= 1
+        self._total_heights -= len(node.forward)
         return node.value
 
     # ------------------------------------------------------------------

@@ -31,6 +31,8 @@ _PENDING = object()
 class Event:
     """A one-shot occurrence that processes can wait for."""
 
+    __slots__ = ("sim", "callbacks", "_value", "_ok")
+
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         #: Callbacks run when the kernel processes the event; ``None`` after.
@@ -101,6 +103,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` simulated seconds after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
@@ -123,7 +127,16 @@ class Process(Event):
     The generator yields events.  When a yielded event succeeds, the
     generator is resumed with the event's value; when it fails, the
     exception is thrown into the generator (which may catch it).
+
+    A generator may also yield a plain non-negative ``float``/``int``:
+    a fixed-delay sleep.  The wait is scheduled at the exact point the
+    ``Timeout`` equivalent would have been (the yield is synchronous),
+    so ordering is identical — but the process reuses one pooled event
+    for every such sleep instead of allocating a ``Timeout`` per wait.
+    The resumed value is ``None``.
     """
+
+    __slots__ = ("_generator", "_target", "_sleep")
 
     def __init__(self, sim: "Simulator", generator: Generator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -133,6 +146,8 @@ class Process(Event):
         super().__init__(sim)
         self._generator = generator
         self._target: Event | None = None
+        #: the pooled fixed-delay sleep event (created on first use)
+        self._sleep: Event | None = None
         # Kick off the process at the current simulation time.
         init = Event(sim)
         init._ok = True
@@ -163,6 +178,23 @@ class Process(Event):
             self._value = exc
             self.sim._schedule(self)
             return
+        cls = target.__class__
+        if cls is float or cls is int:
+            # Pooled sleep: one reusable event per process.  Safe because
+            # a process has at most one outstanding wait, and the pooled
+            # event is invisible outside this process.
+            if target < 0:
+                raise SimulationError(f"negative timeout delay: {target!r}")
+            sleep = self._sleep
+            if sleep is None:
+                sleep = Event(self.sim)
+                sleep._ok = True
+                self._sleep = sleep
+            sleep._value = None
+            sleep.callbacks = [self._resume]
+            self._target = sleep
+            self.sim._schedule(sleep, target)
+            return
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process yielded {type(target).__name__}, expected an Event"
@@ -175,6 +207,8 @@ class Process(Event):
 
 class _Condition(Event):
     """Base for events that aggregate several child events."""
+
+    __slots__ = ("events", "_remaining")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
@@ -196,6 +230,8 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Triggers when every child event has succeeded (or any fails)."""
 
+    __slots__ = ()
+
     def _child_triggered(self, event: Event) -> None:
         if self.triggered:
             return
@@ -209,6 +245,8 @@ class AllOf(_Condition):
 
 class AnyOf(_Condition):
     """Triggers as soon as one child event succeeds (or any fails)."""
+
+    __slots__ = ()
 
     def _child_triggered(self, event: Event) -> None:
         if self.triggered:

@@ -66,6 +66,16 @@ class Link:
         :class:`LinkPartitionedError` (transfers already serialized keep
         their scheduled delivery — the bytes were on the wire).
         """
+        return Timeout(self.sim, self.transmit_delay(nbytes), value=nbytes)
+
+    def transmit_delay(self, nbytes: int) -> float:
+        """Queue ``nbytes``; returns the seconds until delivery.
+
+        Identical accounting to :meth:`transmit`, but hands back the
+        plain delay for the process numeric-yield fast path: a sender
+        doing ``yield link.transmit_delay(n)`` reuses its one pooled
+        sleep event per hop instead of allocating a ``Timeout`` each.
+        """
         if nbytes < 0:
             raise SimulationError(f"cannot transmit negative bytes: {nbytes}")
         if self.partitioned:
@@ -77,8 +87,7 @@ class Link:
         self._account(start, done_serializing, nbytes)
         self.bytes_sent += nbytes
         self.transfer_count += 1
-        delivery_delay = (done_serializing + self.latency_s) - self.sim.now
-        return Timeout(self.sim, delivery_delay, value=nbytes)
+        return (done_serializing + self.latency_s) - self.sim.now
 
     def queueing_delay(self) -> float:
         """Seconds a new transfer would wait before its first byte moves."""

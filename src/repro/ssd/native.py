@@ -15,6 +15,7 @@ writer would).
 
 from __future__ import annotations
 
+from itertools import accumulate
 from typing import List
 
 from repro.errors import OutOfRangeError, StorageError
@@ -86,7 +87,7 @@ class NativeUnit:
         while len(self._pending) >= page_size:
             page = self._pending[:page_size]
             del self._pending[:page_size]
-            self._program_page(bytes(page))
+            self._program_page(page)
         return offset
 
     def append_many(self, chunks: List[bytes]) -> List[int]:
@@ -101,24 +102,34 @@ class NativeUnit:
         only the command count (and therefore the charged time) shrinks.
         """
         self._check_live()
-        offsets: List[int] = []
-        size = self.size
-        for chunk in chunks:
-            offsets.append(size)
-            size += len(chunk)
-            self._pending.extend(chunk)
+        # C-loop bulk path: offsets via accumulate, one join for the
+        # payload, instead of three Python-level ops per chunk.  The
+        # full-page prefix of the joined blob lands in ``_data`` with a
+        # single extend (memoryview slices avoid intermediate copies);
+        # only the trailing partial page round-trips through ``_pending``.
+        offsets = list(accumulate(map(len, chunks), initial=self.size))
+        offsets.pop()
+        if self._pending:
+            blob = bytes(self._pending) + b"".join(chunks)
+        else:
+            blob = b"".join(chunks)
         page_size = self._device.geometry.page_size
-        per_block = self._device.geometry.pages_per_block
-        while len(self._pending) >= page_size:
-            block = self._current_block()
-            room = per_block - block.write_ptr
-            npages = min(len(self._pending) // page_size, room)
-            nbytes = npages * page_size
-            pages = bytes(self._pending[:nbytes])
-            del self._pending[:nbytes]
-            self._device.program(block.block_id, npages, source="host")
-            self._data.extend(pages)
-            self._programmed_pages += npages
+        nfull = len(blob) - len(blob) % page_size
+        if nfull:
+            per_block = self._device.geometry.pages_per_block
+            npages_left = nfull // page_size
+            while npages_left:
+                block = self._current_block()
+                room = per_block - block.write_ptr
+                npages = npages_left if npages_left < room else room
+                self._device.program(block.block_id, npages, source="host")
+                self._programmed_pages += npages
+                npages_left -= npages
+            if nfull == len(blob):
+                self._data += blob
+            else:
+                self._data += memoryview(blob)[:nfull]
+        self._pending = bytearray(memoryview(blob)[nfull:])
         return offsets
 
     def flush(self) -> None:
@@ -134,7 +145,8 @@ class NativeUnit:
         # stable: subsequent appends begin on the next page boundary.
         # (_program_page already appended the padded page to _data.)
 
-    def _program_page(self, page: bytes) -> None:
+    def _program_page(self, page) -> None:
+        """Program one page-sized chunk (``bytes`` or ``bytearray``)."""
         block = self._current_block()
         self._device.program(block.block_id, 1, source="host")
         self._data.extend(page)
@@ -186,8 +198,17 @@ class NativeUnit:
                 self._blocks[block_index].block_id, npages, source="host"
             )
             page = block_end + 1
-        combined = self._data + self._pending
-        return bytes(combined[offset:end])
+        # Stitch the result from the programmed and pending regions
+        # without copying the whole unit (reads used to concatenate the
+        # full _data + _pending per call).
+        data_len = len(self._data)
+        if end <= data_len:
+            return bytes(self._data[offset:end])
+        if offset >= data_len:
+            return bytes(self._pending[offset - data_len : end - data_len])
+        return bytes(self._data[offset:]) + bytes(
+            self._pending[: end - data_len]
+        )
 
     def erase(self) -> None:
         """Erase every block this unit owns and drop its contents."""

@@ -60,12 +60,13 @@ class ChaosRunResult:
     injector: Optional[FaultInjector] = field(repr=False, default=None)
 
 
-def build_chaos_system():
+def build_chaos_system(tracing: bool = True):
     """The standard small system every chaos scenario is written against.
 
     Same shape as the CLI's month system: three regions, one group of
     three nodes per data center, a backbone slow enough that deliveries
-    overlap the scheduled faults.
+    overlap the scheduled faults.  ``tracing=False`` runs the same fleet
+    on the null-tracer path (the perf-bench configuration).
     """
     from repro.bifrost.channels import TopologyConfig
     from repro.core.config import DirectLoadConfig
@@ -74,6 +75,7 @@ def build_chaos_system():
 
     return DirectLoad(
         DirectLoadConfig(
+            tracing_enabled=tracing,
             doc_count=80,
             vocabulary_size=300,
             doc_length=20,
@@ -116,11 +118,13 @@ def fleet_state(system) -> Dict:
     return state
 
 
-def run_chaos(config: ChaosConfig | None = None) -> ChaosRunResult:
+def run_chaos(
+    config: ChaosConfig | None = None, tracing: bool = True
+) -> ChaosRunResult:
     """Run the chaos workload; see the module docstring for the contract."""
     config = config or ChaosConfig()
     plan = resolve_plan(config.plan)
-    system = build_chaos_system()
+    system = build_chaos_system(tracing=tracing)
     sim = system.sim
 
     bootstrap = system.run_update_cycle()

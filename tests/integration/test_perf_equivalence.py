@@ -1,0 +1,175 @@
+"""Byte-identical equivalence gates for the kernel speed refactor.
+
+The perf refactor (bucketed event queue, pooled timeouts, null tracer,
+batched accounting, ingest fast paths) must not change a single
+delivered byte.  These tests pin SHA-256 digests of three seeded runs —
+a plain month, a pipelined month, and a chaos month — captured on the
+pre-refactor tree.  The digest covers every cycle report field
+(including the traced stage table) *and* the full fleet state: every
+replica's stored representation of every live ``(key, version)``.
+
+If a digest changes, the refactor changed behavior; fix the refactor,
+do not re-pin, unless the release notes explicitly call out a semantic
+change.
+
+A second family of checks proves the null-tracer path is inert: the
+same runs with ``tracing_enabled=False`` must reproduce the identical
+fleet state and reports (minus the stage table, which is legitimately
+empty when nothing records spans).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+from repro.workloads.chaos import (
+    ChaosConfig,
+    build_chaos_system,
+    fleet_state,
+    run_chaos,
+)
+
+# Mutation rates driven after the bootstrap cycle; arbitrary but fixed.
+RATES = [0.3, 0.5]
+
+GOLDEN = {
+    "plain": "9396ca2498a59de35b43ff3a3a4767e9bffbc980818fdaf38cca24ef9005af59",
+    "plain-reports": "e76cc8966fb59d80ae800f400af0cef850ac1179fc85981f7b11a672fe47b375",
+    "pipelined": "1bfd17481c1b66db9b809856c64f881bd5c3b8095f91b810a2cff930398cf095",
+    "pipelined-reports": "e76cc8966fb59d80ae800f400af0cef850ac1179fc85981f7b11a672fe47b375",
+    "chaos": "8f27846aec44ee618abe7e46d795883f73a8b8e01f6dcd9955de5e98e2c1ea42",
+}
+
+
+def _canon(value):
+    """JSON-representable canonical form (bytes hex-encoded)."""
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canon(v) for k, v in value.items()}
+    return value
+
+
+def _digest(payload) -> str:
+    blob = json.dumps(_canon(payload), sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _report_dicts(reports, stages: bool = True):
+    rows = [dataclasses.asdict(r) for r in reports]
+    if not stages:
+        for row in rows:
+            row.pop("stages", None)
+    return rows
+
+
+def _state_rows(system):
+    return {
+        f"{dc}|{node}|{key.hex()}|{version}": value
+        for (dc, node, key, version), value in fleet_state(system).items()
+    }
+
+
+def _run_plain(tracing: bool = True):
+    system = build_chaos_system(tracing=tracing)
+    reports = [system.run_update_cycle()]
+    for rate in RATES:
+        reports.append(system.run_update_cycle(mutation_rate=rate))
+    return system, reports
+
+
+def _run_pipelined(tracing: bool = True):
+    system = build_chaos_system(tracing=tracing)
+    reports = system.run_pipelined_cycles([None] + RATES)
+    return system, reports
+
+
+def compute_digests():
+    """All pinned digests, from a live run (used to mint GOLDEN)."""
+    plain_system, plain_reports = _run_plain()
+    pipe_system, pipe_reports = _run_pipelined()
+    chaos_result = run_chaos(ChaosConfig(plan="single-node-crash", cycles=3))
+    return {
+        "plain": _digest(
+            {
+                "reports": _report_dicts(plain_reports),
+                "state": _state_rows(plain_system),
+            }
+        ),
+        "plain-reports": _digest(_report_dicts(plain_reports, stages=False)),
+        "pipelined": _digest(
+            {
+                "reports": _report_dicts(pipe_reports),
+                "state": _state_rows(pipe_system),
+            }
+        ),
+        "pipelined-reports": _digest(
+            _report_dicts(pipe_reports, stages=False)
+        ),
+        "chaos": _digest(
+            {
+                "data": chaos_result.data,
+                "state": _state_rows(chaos_result.system),
+            }
+        ),
+    }
+
+
+def test_plain_month_byte_identical():
+    system, reports = _run_plain()
+    payload = {
+        "reports": _report_dicts(reports),
+        "state": _state_rows(system),
+    }
+    assert _digest(payload) == GOLDEN["plain"]
+
+
+def test_pipelined_month_byte_identical():
+    system, reports = _run_pipelined()
+    payload = {
+        "reports": _report_dicts(reports),
+        "state": _state_rows(system),
+    }
+    assert _digest(payload) == GOLDEN["pipelined"]
+
+
+def test_chaos_month_byte_identical():
+    result = run_chaos(ChaosConfig(plan="single-node-crash", cycles=3))
+    payload = {
+        "data": result.data,
+        "state": _state_rows(result.system),
+    }
+    assert _digest(payload) == GOLDEN["chaos"]
+
+
+def test_null_tracer_is_inert_plain():
+    system, reports = _run_plain(tracing=False)
+    assert all(r.stages == [] for r in reports)
+    assert _digest(_report_dicts(reports, stages=False)) == (
+        GOLDEN["plain-reports"]
+    )
+    assert _digest(_state_rows(system)) == _digest(
+        _state_rows(_run_plain(tracing=True)[0])
+    )
+
+
+def test_null_tracer_is_inert_pipelined():
+    system, reports = _run_pipelined(tracing=False)
+    assert all(r.stages == [] for r in reports)
+    assert _digest(_report_dicts(reports, stages=False)) == (
+        GOLDEN["pipelined-reports"]
+    )
+    assert _digest(_state_rows(system)) == _digest(
+        _state_rows(_run_pipelined(tracing=True)[0])
+    )
+
+
+def test_null_tracer_records_nothing():
+    system, _ = _run_plain(tracing=False)
+    assert system.tracer.spans == []
+    assert system.tracer.to_json() == []
+    assert system.tracer.stage_summary() == []

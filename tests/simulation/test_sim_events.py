@@ -144,7 +144,32 @@ def test_unhandled_process_crash_surfaces(sim):
 
 def test_yielding_non_event_is_an_error(sim):
     def worker(sim):
-        yield 42
+        yield "42 seconds"
+
+    sim.process(worker(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_yielding_number_is_a_pooled_sleep(sim):
+    waits = []
+
+    def worker(sim):
+        received = yield 1.5
+        waits.append((sim.now, received))
+        yield 2
+        waits.append((sim.now, None))
+        return "done"
+
+    process = sim.process(worker(sim))
+    sim.run()
+    assert waits == [(1.5, None), (3.5, None)]
+    assert process.value == "done"
+
+
+def test_yielding_negative_number_is_an_error(sim):
+    def worker(sim):
+        yield -0.5
 
     sim.process(worker(sim))
     with pytest.raises(SimulationError):

@@ -1,0 +1,114 @@
+"""Property test: the bucketed event queue preserves (time, sequence) order.
+
+The kernel coalesces same-timestamp events into one heap entry plus a
+bucket list (O(N) heap traffic for an N-event cascade).  The contract is
+that this is *pure mechanics*: events still fire exactly as a plain
+``heapq`` of ``(time, insertion_sequence)`` keys would fire them — ties
+at one timestamp resolve in scheduling order, including events scheduled
+*for the current instant* while the kernel is mid-cascade.
+"""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.kernel import Simulator
+
+#: few distinct delays -> dense same-timestamp collisions
+DELAY_CHOICES = (0.0, 0.5, 1.0, 2.0)
+
+#: one scheduling step: (delay index, number of same-instant children
+#: the event spawns when it fires)
+steps = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(DELAY_CHOICES) - 1),
+        st.integers(min_value=0, max_value=3),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _reference_order(program):
+    """Fire the same program on a plain (time, seq) heapq."""
+    heap = []
+    seq = 0
+    fired = []
+    for delay_index, children in program:
+        heapq.heappush(
+            heap, (DELAY_CHOICES[delay_index], seq, seq, children)
+        )
+        seq += 1
+    while heap:
+        time, _seq, ident, children = heapq.heappop(heap)
+        fired.append(ident)
+        for _ in range(children):
+            # children fire at the parent's instant: the same-timestamp
+            # cascade the bucketed queue coalesces
+            heapq.heappush(heap, (time, seq, seq, children - 1))
+            seq += 1
+    return fired
+
+
+def _kernel_order(program):
+    """Fire the program on the real kernel via event callbacks."""
+    sim = Simulator()
+    fired = []
+    seq = [len(program)]
+
+    def make_callback(ident, children):
+        def callback(_event):
+            fired.append(ident)
+            for _ in range(children):
+                child = sim.timeout(0.0)
+                child.add_callback(make_callback(seq[0], children - 1))
+                seq[0] += 1
+
+        return callback
+
+    for ident, (delay_index, children) in enumerate(program):
+        event = sim.timeout(DELAY_CHOICES[delay_index])
+        event.add_callback(make_callback(ident, children))
+    sim.run()
+    return fired
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=steps)
+def test_property_bucketed_queue_matches_pure_heapq(program):
+    assert _kernel_order(program) == _reference_order(program)
+
+
+def test_same_instant_cascade_fires_in_scheduling_order():
+    """A burst of equal timestamps fires strictly in creation order."""
+    sim = Simulator()
+    fired = []
+    for ident in range(50):
+        event = sim.timeout(1.0)
+        event.add_callback(lambda _e, ident=ident: fired.append(ident))
+    sim.run()
+    assert fired == list(range(50))
+    assert sim.now == 1.0
+
+
+def test_mid_cascade_insertions_join_the_current_instant():
+    """Events scheduled at ``now`` during a cascade fire after every
+    already-queued event of that instant, in insertion order."""
+    sim = Simulator()
+    fired = []
+
+    def spawn(tag):
+        def callback(_event):
+            fired.append(tag)
+            if tag == "a":
+                sim.timeout(0.0).add_callback(
+                    lambda _e: fired.append("a-child")
+                )
+
+        return callback
+
+    sim.timeout(1.0).add_callback(spawn("a"))
+    sim.timeout(1.0).add_callback(spawn("b"))
+    sim.run()
+    assert fired == ["a", "b", "a-child"]
