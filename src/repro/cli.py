@@ -9,6 +9,7 @@ Usage::
     python -m repro dedup-sweep     # bandwidth saving across dup ratios
     python -m repro observe         # traced cycle: stages + metrics
     python -m repro perf --json     # kernel bench: events/sec per scenario
+    python -m repro serve --json    # read-serving: batching, shedding, SLO
     python -m repro chaos --plan single-node-crash  # faults + recovery
 
 Each subcommand is a smaller sibling of the corresponding benchmark in
@@ -517,6 +518,121 @@ def _cmd_perf(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serving import ServingConfig
+    from repro.workloads.serving import (
+        FlashCrowdConfig,
+        ServingWorkloadConfig,
+        compare_serving_entries,
+        run_serving_bench,
+    )
+
+    flash = None
+    if args.flash_multiplier > 1:
+        flash = FlashCrowdConfig(multiplier=args.flash_multiplier)
+    workload = ServingWorkloadConfig(
+        days=args.days,
+        qps_per_node=args.qps_per_node,
+        duration_s=args.duration,
+        flash=flash,
+        updates=args.updates,
+        plan=args.plan,
+        serving=ServingConfig(
+            coalesce_window_s=args.window,
+            max_batch=args.max_batch,
+            max_queue_depth_per_replica=args.depth,
+            slo_p99_s=args.slo,
+        ),
+        seed=args.seed,
+    )
+    entry = run_serving_bench(label=args.label or "run", workload=workload)
+
+    failures: List[str] = []
+    if args.check:
+        with open(args.check) as handle:
+            bench = json.load(handle)
+        entries = bench.get("entries") or []
+        if args.baseline_label:
+            entries = [
+                e for e in entries if e.get("label") == args.baseline_label
+            ]
+        baseline = entries[-1] if entries else None
+        failures = compare_serving_entries(
+            entry, baseline, min_ratio=args.min_ratio
+        )
+        if baseline is None:
+            failures.append(f"{args.check} has no baseline entries")
+    if args.out:
+        try:
+            with open(args.out) as handle:
+                bench = json.load(handle)
+        except FileNotFoundError:
+            bench = {
+                "benchmark": "serving",
+                "units": {
+                    "keys_per_device_s": (
+                        "reads served per simulated device-second"
+                    ),
+                    "speedup": "batched over per-key read throughput",
+                    "latency": "simulated seconds, admitted requests only",
+                },
+                "entries": [],
+            }
+        bench["entries"].append(entry)
+        with open(args.out, "w") as handle:
+            json.dump(bench, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    data = dict(entry)
+    if args.check:
+        data["baseline"] = args.check
+        data["regressions"] = failures
+    if args.out:
+        data["out"] = args.out
+
+    def render(data: dict) -> None:
+        ablation = data["ablation"]
+        fleet = data["workload"]["serving"]["fleet"]
+        rows = [
+            [
+                arm,
+                f"{ablation[arm]['keys']:,}",
+                f"{ablation[arm]['device_s'] * 1000:.2f}ms",
+                f"{ablation[arm]['keys_per_device_s']:,.0f}",
+            ]
+            for arm in ("per_key", "batched")
+        ]
+        print(render_table(["read path", "keys", "device time", "keys/s"], rows))
+        print(
+            f"\nbatched speedup {ablation['speedup']:.2f}x, values "
+            + ("byte-identical" if ablation["digests_match"] else "DIFFER")
+        )
+        latency = fleet.get("p99_s", 0.0)
+        print(
+            f"serving: {fleet['requests']:,} offered, "
+            f"{fleet['admitted']:,} admitted, {fleet['shed']:,} shed "
+            f"({fleet['shed_rate'] * 100:.1f}%), "
+            f"{fleet['not_found']} not found"
+        )
+        print(
+            f"latency: p99 {latency * 1000:.2f}ms vs SLO "
+            f"{fleet['slo_p99_s'] * 1000:.0f}ms "
+            f"({'met' if fleet['slo_met'] else 'MISSED'}); "
+            f"{data['workload']['achieved_qps']:,.0f} qps achieved"
+        )
+        if "regressions" in data:
+            if data["regressions"]:
+                print(f"\nREGRESSION vs {data['baseline']}:")
+                for line in data["regressions"]:
+                    print(f"  {line}")
+            else:
+                print(f"\nno regression vs {data['baseline']}")
+        if "out" in data:
+            print(f"\nappended entry {data['label']!r} to {data['out']}")
+
+    _emit(args, data, render)
+    return 1 if failures else 0
+
+
 def _cmd_chaos(args) -> int:
     from repro.workloads.chaos import ChaosConfig, run_chaos
 
@@ -664,6 +780,68 @@ def main(argv: Optional[List[str]] = None) -> int:
         "gating against a fast machine's best-of-8 would flake)",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="query-serving workload: batched reads, admission control, SLO",
+    )
+    serve.add_argument(
+        "--days", type=int, default=2,
+        help="update cycles driven concurrently with serving",
+    )
+    serve.add_argument("--qps-per-node", type=float, default=60.0)
+    serve.add_argument(
+        "--duration", type=float, default=20.0,
+        help="minimum serving window in simulated seconds",
+    )
+    serve.add_argument(
+        "--window", type=float, default=0.002,
+        help="coalescing window in simulated seconds",
+    )
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument(
+        "--depth", type=int, default=32,
+        help="admitted queue depth per healthy replica before shedding",
+    )
+    serve.add_argument(
+        "--slo", type=float, default=0.050,
+        help="p99 latency target for admitted reads (simulated seconds)",
+    )
+    serve.add_argument(
+        "--flash-multiplier", type=float, default=8.0,
+        help="flash-crowd rate multiplier; 1 disables the surge",
+    )
+    serve.add_argument(
+        "--updates", choices=("pipelined", "none"), default="pipelined",
+        help="drive update cycles concurrent with serving, or serve only",
+    )
+    serve.add_argument(
+        "--plan", default=None,
+        help="optional chaos plan injected during the run",
+    )
+    serve.add_argument("--seed", type=int, default=23)
+    serve.add_argument(
+        "--label", default=None,
+        help="entry label recorded with --out (e.g. post-batching)",
+    )
+    serve.add_argument(
+        "--out", default=None,
+        help="append this run as an entry to the given BENCH_serving.json",
+    )
+    serve.add_argument(
+        "--check", default=None,
+        help="gate against the last entry of this baseline file; "
+        "exit 1 on regression or a failed absolute check",
+    )
+    serve.add_argument(
+        "--min-ratio", type=float, default=0.8,
+        help="relative gate: fail below this fraction of baseline "
+        "batched keys/device-s",
+    )
+    serve.add_argument(
+        "--baseline-label", default=None,
+        help="gate against the last --check entry with this label",
+    )
+
     chaos = commands.add_parser(
         "chaos", help="an update cycle under a fault plan + recovery audit"
     )
@@ -679,7 +857,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     for sub in (
-        demo, fig5, fig9, month, dedup_sweep, report, observe, perf, chaos,
+        demo, fig5, fig9, month, dedup_sweep, report, observe, perf, serve,
+        chaos,
     ):
         sub.add_argument(
             "--json", action="store_true",
@@ -696,6 +875,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "observe": _cmd_observe,
         "perf": _cmd_perf,
+        "serve": _cmd_serve,
         "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)

@@ -17,6 +17,7 @@
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -59,22 +60,75 @@ class PercentileTracker:
     The sorted order is cached between queries and invalidated by the
     next ``add``/``extend``, so ``summary()`` (three percentile reads)
     sorts once instead of three times; :attr:`sort_count` witnesses it.
+
+    Two storage modes:
+
+    * **exact** (default, ``max_samples=None``): every sample is kept and
+      percentiles are exact — what the tier-1 tests and the figure
+      benches pin.
+    * **streaming** (``max_samples=N``): a seeded reservoir (Vitter's
+      Algorithm R) holds at most ``N`` samples, so fleet-scale SLO
+      tracking over millions of reads stays bounded-memory.  The mean is
+      exact either way (running sum); percentiles come off the reservoir
+      and converge to the exact ones as ``N`` grows.  ``len()`` reports
+      samples *observed*, not held.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, max_samples: Optional[int] = None, seed: int = 0x51D
+    ) -> None:
+        if max_samples is not None and max_samples <= 0:
+            raise ConfigError(
+                f"max_samples must be positive or None, got {max_samples}"
+            )
+        self._max_samples = max_samples
+        # The RNG exists only in streaming mode, so exact-mode instances
+        # stay byte-identical to the pre-reservoir implementation.
+        self._rng = random.Random(seed) if max_samples is not None else None
         self._samples: List[float] = []
         self._ordered: Optional[List[float]] = None
         self._sort_count = 0
+        self._count = 0
+        self._sum = 0.0
 
     def add(self, sample: float) -> None:
-        self._samples.append(sample)
-        self._ordered = None
+        self._count += 1
+        self._sum += sample
+        cap = self._max_samples
+        if cap is None or len(self._samples) < cap:
+            self._samples.append(sample)
+            self._ordered = None
+            return
+        # Algorithm R: the n-th sample replaces a reservoir slot with
+        # probability cap/n, keeping every observed sample equally likely
+        # to be held.
+        slot = self._rng.randrange(self._count)
+        if slot < cap:
+            self._samples[slot] = sample
+            self._ordered = None
 
     def extend(self, samples: Sequence[float]) -> None:
-        self._samples.extend(samples)
-        self._ordered = None
+        if self._max_samples is None:
+            start = len(self._samples)
+            self._samples.extend(samples)
+            self._ordered = None
+            added = self._samples[start:]
+            self._count += len(added)
+            # Element-wise accumulation keeps the running sum bit-identical
+            # to the query-time ``sum()`` the exact mode used to compute.
+            for sample in added:
+                self._sum += sample
+            return
+        for sample in samples:
+            self.add(sample)
 
     def __len__(self) -> int:
+        """Samples observed (== samples held in exact mode)."""
+        return self._count
+
+    @property
+    def held_samples(self) -> int:
+        """Samples actually resident (bounded by ``max_samples``)."""
         return len(self._samples)
 
     @property
@@ -84,9 +138,10 @@ class PercentileTracker:
 
     @property
     def mean(self) -> float:
-        if not self._samples:
+        """Exact running mean in both modes."""
+        if not self._count:
             return 0.0
-        return sum(self._samples) / len(self._samples)
+        return self._sum / self._count
 
     def percentile(self, p: float) -> float:
         """The ``p``-th percentile (nearest-rank on the sorted samples)."""
@@ -108,6 +163,16 @@ class PercentileTracker:
             "avg": self.mean,
             "p99": self.percentile(99.0),
             "p999": self.percentile(99.9),
+        }
+
+    def quantiles(self) -> Dict[str, float]:
+        """The serving-SLO view: median plus both tails, with count."""
+        return {
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p99": self.percentile(99.0),
+            "p999": self.percentile(99.9),
+            "count": float(len(self)),
         }
 
 
@@ -166,20 +231,28 @@ class CacheCounters:
 
 @dataclass
 class BatchCounters:
-    """Write-batch tallies for one engine instance.
+    """Batch-path tallies for one engine instance.
 
     ``batches`` counts :meth:`put_batch` calls, ``batched_puts`` the keys
     they carried; ``batched_puts / batches`` is the realized batch size.
-    Kept separate from the per-key put counters so batch/single
-    equivalence can be asserted on everything *except* these.
+    ``get_batches``/``batched_gets`` are the read-side mirror for
+    :meth:`get_batch`.  Kept separate from the per-key counters so
+    batch/single equivalence can be asserted on everything *except*
+    these.
     """
 
     batches: int = 0
     batched_puts: int = 0
+    get_batches: int = 0
+    batched_gets: int = 0
 
     @property
     def mean_batch_size(self) -> float:
         return self.batched_puts / self.batches if self.batches else 0.0
+
+    @property
+    def mean_get_batch_size(self) -> float:
+        return self.batched_gets / self.get_batches if self.get_batches else 0.0
 
     def as_dict(self) -> Dict[str, float]:
         """Flat counter view for table/report aggregation."""
@@ -187,6 +260,9 @@ class BatchCounters:
             "batches": self.batches,
             "batched_puts": self.batched_puts,
             "mean_batch_size": self.mean_batch_size,
+            "get_batches": self.get_batches,
+            "batched_gets": self.batched_gets,
+            "mean_get_batch_size": self.mean_get_batch_size,
         }
 
     def register_metrics(self, registry, prefix: str) -> None:
@@ -196,6 +272,8 @@ class BatchCounters:
             {
                 "batches": lambda: self.batches,
                 "batched_puts": lambda: self.batched_puts,
+                "get_batches": lambda: self.get_batches,
+                "batched_gets": lambda: self.batched_gets,
             },
         )
 

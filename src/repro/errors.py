@@ -98,6 +98,16 @@ class NodeDownError(ClusterError):
     """The addressed storage node is not serving requests."""
 
 
+class OverloadError(ClusterError):
+    """The serving tier shed the request: admitting it would push a
+    replica's queue past its configured depth bound.
+
+    Load shedding is deliberate back-pressure, not a failure of the
+    storage below — callers (workload clients) count it and retry or
+    drop, and the frontend reports the shed rate alongside the SLO.
+    """
+
+
 class ReleaseError(ReproError):
     """A gray-release transition was attempted from an invalid state."""
 

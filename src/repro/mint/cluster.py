@@ -141,6 +141,41 @@ class MintCluster:
     def get(self, key: bytes, version: int) -> bytes:
         return self.group_for(key).get(key, version)
 
+    def multi_get(self, items: List[tuple], missing: str = "raise") -> List:
+        """Read ``(key, version)`` pairs, partitioned by group; returns
+        the values in input order.
+
+        The gather half of the serving fast path: items bucket by the
+        memoized ``H(k)`` group mapping (exactly as :meth:`put_batch`
+        partitions writes), each group serves its share as one
+        :meth:`NodeGroup.multi_get` — batch-aware replica spreading, one
+        engine batch per node — and the per-group results scatter back
+        into request order.  ``missing`` passes through: ``"raise"``
+        matches :meth:`get`'s :class:`~repro.errors.KeyNotFoundError`
+        behaviour, ``"none"`` returns per-slot sentinels.
+        """
+        by_group: Dict[int, List[int]] = {}
+        for index, item in enumerate(items):
+            by_group.setdefault(
+                self.group_for(item[0]).group_id, []
+            ).append(index)
+        results: List = [None] * len(items)
+        for group in self.groups:
+            indices = by_group.get(group.group_id)
+            if not indices:
+                continue
+            batch = [items[index] for index in indices]
+            if self.trace is not None:
+                with self.trace.span(
+                    "multi_get_group", group=group.group_id, keys=len(batch)
+                ):
+                    values = group.multi_get(batch, missing=missing)
+            else:
+                values = group.multi_get(batch, missing=missing)
+            for index, value in zip(indices, values):
+                results[index] = value
+        return results
+
     def delete(self, key: bytes, version: int) -> int:
         return self.group_for(key).delete(key, version)
 
@@ -251,6 +286,16 @@ class MintCluster:
         """Front-end read of one index entry."""
         return self.get(storage_key(kind, key), version)
 
+    def multi_query(
+        self, kind: IndexKind, keys: List[bytes], version: int,
+        missing: str = "raise",
+    ) -> List:
+        """Front-end batched read of several same-kind index entries."""
+        return self.multi_get(
+            [(storage_key(kind, key), version) for key in keys],
+            missing=missing,
+        )
+
     def scan(
         self,
         kind: IndexKind,
@@ -306,6 +351,21 @@ class MintCluster:
                     return 0.0
             return value
 
+        # Group-level read-side counters, mirroring how the write path
+        # exports per-node tallies: ``mint.<dc>.g<id>.group.*`` carries
+        # the serving reads (single + batched), failovers, and sheds.
+        for group in self.groups:
+            registry.register_many(
+                f"mint.{self.name}.g{group.group_id}.group",
+                {
+                    "gets": lambda group=group: group.gets,
+                    "multi_gets": lambda group=group: group.multi_gets,
+                    "batched_gets": lambda group=group: group.batched_gets,
+                    "failover_gets": lambda group=group: group.failover_gets,
+                    "shed_gets": lambda group=group: group.shed_gets,
+                },
+            )
+
         for node in self.all_nodes:
             path = node.name.replace("/", ".")
             registry.register_many(
@@ -314,6 +374,7 @@ class MintCluster:
                     "puts": lambda node=node: node.puts,
                     "gets": lambda node=node: node.gets,
                     "skipped_gets": lambda node=node: node.skipped_gets,
+                    "missing_gets": lambda node=node: node.missing_gets,
                     "deletes": lambda node=node: node.deletes,
                     "recoveries": lambda node=node: node.recoveries,
                     "up": lambda node=node: 1.0 if node.is_up else 0.0,
@@ -418,9 +479,19 @@ class MintCluster:
             "busy_time_s": 0.0,
             "put_batches": 0,
             "batched_puts": 0,
+            "get_batches": 0,
+            "batched_gets": 0,
+            "multi_gets": 0,
+            "failover_gets": 0,
+            "shed_gets": 0,
+            "missing_gets": 0,
             "device_write_ops": 0,
             "stale_slices_dropped": self.stale_slices_dropped,
         }
+        for group in self.groups:
+            totals["multi_gets"] += group.multi_gets
+            totals["failover_gets"] += group.failover_gets
+            totals["shed_gets"] += group.shed_gets
         gets_per_node: Dict[str, int] = {}
         skipped_gets_per_node: Dict[str, int] = {}
         for node in self.all_nodes:
@@ -429,6 +500,7 @@ class MintCluster:
             totals["puts"] += node.puts
             totals["gets"] += node.gets
             totals["deletes"] += node.deletes
+            totals["missing_gets"] += node.missing_gets
             gets_per_node[node.name] = node.gets
             skipped_gets_per_node[node.name] = node.skipped_gets
             stats = node.engine.stats()
@@ -438,6 +510,8 @@ class MintCluster:
             # The LSM baseline has no batch path; its stats lack these.
             totals["put_batches"] += getattr(stats, "put_batches", 0)
             totals["batched_puts"] += getattr(stats, "batched_puts", 0)
+            totals["get_batches"] += getattr(stats, "get_batches", 0)
+            totals["batched_gets"] += getattr(stats, "batched_gets", 0)
             totals["device_write_ops"] += node.engine.device.counters.host_write_ops
         totals["gets_per_node"] = gets_per_node
         totals["skipped_gets_per_node"] = skipped_gets_per_node

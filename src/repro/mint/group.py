@@ -51,6 +51,16 @@ class NodeGroup:
         self.park_when_unavailable = False
         #: parked ``(key, version, value)`` writes awaiting a live replica
         self.pending_writes: List = []
+        #: read-side tallies, registered as ``mint.<dc>.g<id>.group.*``:
+        #: single gets and multi_get calls/keys through this group,
+        #: reads answered by a non-preferred replica (``failover_gets``),
+        #: and requests the serving tier shed at admission (``shed_gets``,
+        #: incremented by the frontend's admission controller).
+        self.gets = 0
+        self.multi_gets = 0
+        self.batched_gets = 0
+        self.failover_gets = 0
+        self.shed_gets = 0
         #: key -> replica nodes, memoizing the rendezvous ranking.  Valid
         #: until *membership* changes (add/remove); node crashes and
         #: restarts only flip ``is_up`` and never move placement, so the
@@ -215,7 +225,9 @@ class NodeGroup:
                 if (item[0], item[1]) not in dropping
             ]
 
-    def read_order(self, key: bytes) -> List[StorageNode]:
+    def read_order(
+        self, key: bytes, assigned: Optional[Dict[str, int]] = None
+    ) -> List[StorageNode]:
         """The key's replicas, least-loaded first.
 
         Load is the replica's device clock (``engine.device.now``): the
@@ -224,18 +236,34 @@ class NodeGroup:
         pinning the rendezvous-top node.  Down replicas sort last (they
         only matter as failover of last resort) and ties break by
         rendezvous rank, keeping the order deterministic.
+
+        ``assigned`` is the batch-aware extension :meth:`multi_get`
+        uses: a node-name -> keys-already-assigned-this-batch map that
+        outranks the device clock, so a batch spreads across a key's
+        live replicas *within* one call instead of piling onto whichever
+        replica was least loaded when the batch arrived (device clocks
+        only advance when the engine runs, so without the bias every
+        item of a batch would pick the same node).  ``None`` (the
+        default, and every single-key caller) leaves the order exactly
+        as before.
         """
         replicas = self.replicas_for(key)
+        if assigned is None:
+            sort_key = lambda pair: (  # noqa: E731 - tiny local ordering
+                not pair[1].is_up,
+                pair[1].engine.device.now,
+                pair[0],
+            )
+        else:
+            sort_key = lambda pair: (  # noqa: E731
+                not pair[1].is_up,
+                assigned.get(pair[1].name, 0),
+                pair[1].engine.device.now,
+                pair[0],
+            )
         return [
             node
-            for _rank, node in sorted(
-                enumerate(replicas),
-                key=lambda pair: (
-                    not pair[1].is_up,
-                    pair[1].engine.device.now,
-                    pair[0],
-                ),
-            )
+            for _rank, node in sorted(enumerate(replicas), key=sort_key)
         ]
 
     def get(self, key: bytes, version: int) -> bytes:
@@ -250,30 +278,145 @@ class NodeGroup:
         Failover semantics are unchanged: a down replica is skipped, and
         a replica that is up but *missing* the key (it lost an unflushed
         tail in a crash and has not been repaired yet) falls through to
-        the next the same way — the parallel fan-out masks both.
+        the next the same way — the parallel fan-out masks both.  Both
+        fall-throughs are counted now: the missing node's
+        ``missing_gets`` ticks, and a read ultimately answered by a
+        non-preferred replica ticks the group's ``failover_gets`` — the
+        observability the write path always had.
         """
+        self.gets += 1
         missing: KeyNotFoundError | None = None
         all_down = True
+        fell_through = False
         for node in self.read_order(key):
             if not node.is_up:
                 # Skip proactively rather than paying a NodeDownError per
                 # read; the skip is visible in the node's stats.
                 node.skipped_gets += 1
+                fell_through = True
                 continue
             try:
-                return node.get(key, version)
+                value = node.get(key, version)
             except NodeDownError:
                 node.skipped_gets += 1
+                fell_through = True
                 continue
             except KeyNotFoundError as exc:
                 all_down = False
                 missing = exc
+                node.missing_gets += 1
+                fell_through = True
+                continue
+            if fell_through:
+                self.failover_gets += 1
+            return value
         if all_down:
             raise ReplicationError(
                 f"all replicas down for key {key!r} in group {self.group_id}"
             )
         assert missing is not None
         raise missing
+
+    def multi_get(self, items, missing: str = "raise") -> List:
+        """Read a batch of ``(key, version)`` pairs, one engine batch per
+        node; returns the values in input order.
+
+        The scatter half of the serving fast path: each item picks the
+        least-loaded live replica via the batch-aware
+        :meth:`read_order` (the running per-node assignment count
+        outranks the device clock, so a batch of hot keys spreads across
+        the replica set within one call), sub-batches issue as a single
+        :meth:`StorageNode.get_batch` per node, and failures fail over
+        *per key*: an item its node missed (``None`` in the sub-batch
+        result — the node lost an unflushed tail) retries on the key's
+        next untried replica in a later round, while the resolved rest of
+        the batch stands.
+
+        Counter semantics match :meth:`get`: a down replica encountered
+        in an item's order ticks its ``skipped_gets``, an up-but-missing
+        serve ticks the node's ``missing_gets``, and an item answered by
+        a non-preferred replica ticks the group's ``failover_gets``.
+
+        A key with every replica down raises
+        :class:`~repro.errors.ReplicationError`; a key every live
+        replica is missing raises :class:`~repro.errors.KeyNotFoundError`
+        when ``missing="raise"`` (the default, matching :meth:`get`) or
+        reads as ``None`` when ``missing="none"`` (the serving frontend's
+        mode: one cold key must not fail a coalesced batch).
+        """
+        if missing not in ("raise", "none"):
+            raise ClusterError(
+                f'multi_get missing mode must be "raise" or "none", '
+                f"got {missing!r}"
+            )
+        count = len(items)
+        if not count:
+            return []
+        self.multi_gets += 1
+        self.batched_gets += count
+        results: List = [None] * count
+        #: per item: node names already tried (live serve or down skip)
+        tried: List[set] = [set() for _ in range(count)]
+        #: per item: some live replica answered but lacked the key
+        live_missed = [False] * count
+        #: node name -> items assigned this call (the read_order bias)
+        assigned: Dict[str, int] = {}
+        pending = list(range(count))
+        while pending:
+            per_node: Dict[StorageNode, List[int]] = {}
+            for index in pending:
+                key = items[index][0]
+                choice = None
+                for node in self.read_order(key, assigned):
+                    if node.name in tried[index]:
+                        continue
+                    if not node.is_up:
+                        node.skipped_gets += 1
+                        tried[index].add(node.name)
+                        continue
+                    choice = node
+                    break
+                if choice is None:
+                    # Every replica tried: distinguish "live replicas
+                    # missed the key" from "no replica was ever up".
+                    if not live_missed[index]:
+                        raise ReplicationError(
+                            f"all replicas down for key {key!r} in "
+                            f"group {self.group_id}"
+                        )
+                    if missing == "raise":
+                        raise KeyNotFoundError(
+                            f"no live item for {key!r}/{items[index][1]}"
+                        )
+                    continue  # missing == "none": the slot stays None
+                tried[index].add(choice.name)
+                assigned[choice.name] = assigned.get(choice.name, 0) + 1
+                per_node.setdefault(choice, []).append(index)
+            retry: List[int] = []
+            # Deterministic dispatch order (sorted node names), matching
+            # the write path's per-node iteration.
+            for node in self.nodes:
+                indices = per_node.get(node)
+                if not indices:
+                    continue
+                try:
+                    values = node.get_batch([items[i] for i in indices])
+                except NodeDownError:
+                    node.skipped_gets += len(indices)
+                    retry.extend(indices)
+                    continue
+                for index, value in zip(indices, values):
+                    if value is None:
+                        node.missing_gets += 1
+                        live_missed[index] = True
+                        retry.append(index)
+                    else:
+                        results[index] = value
+                        if len(tried[index]) > 1:
+                            self.failover_gets += 1
+            retry.sort()
+            pending = retry
+        return results
 
     def delete(self, key: bytes, version: int) -> int:
         """Delete on every live replica; returns the number reached."""

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Union
 
-from repro.errors import NodeDownError
+from repro.errors import KeyNotFoundError, NodeDownError
 from repro.lsm.engine import LSMEngine
 from repro.qindb.checkpoint import crash as qindb_crash
 from repro.qindb.checkpoint import recover as qindb_recover
@@ -31,6 +31,9 @@ class StorageNode:
         self.gets = 0
         #: reads routed away from this node because it was down
         self.skipped_gets = 0
+        #: reads this node served while *up* but missing the key (a lost
+        #: unflushed tail awaiting repair); the group fails them over
+        self.missing_gets = 0
         self.deletes = 0
         self.recoveries = 0
         self.last_recovery_seconds = 0.0
@@ -66,6 +69,29 @@ class StorageNode:
         self._check_up()
         self.gets += 1
         return self.engine.get(key, version)
+
+    def get_batch(self, items) -> list:
+        """Fetch a batch of ``(key, version)`` values in input order.
+
+        Mirrors :meth:`put_batch`: QinDB takes the whole batch in one
+        engine call (deduplicated positioned reads, coalesced multi-page
+        commands, amortized CPU); engines without a batch path (the LSM
+        baseline) fall back to per-key gets.  A missing item reads as
+        ``None`` rather than raising, so the group layer can fail over
+        individual keys while the rest of the batch stands.
+        """
+        self._check_up()
+        self.gets += len(items)
+        engine_batch = getattr(self.engine, "get_batch", None)
+        if engine_batch is not None:
+            return engine_batch(items)
+        values = []
+        for key, version in items:
+            try:
+                values.append(self.engine.get(key, version))
+            except KeyNotFoundError:
+                values.append(None)
+        return values
 
     def delete(self, key: bytes, version: int) -> None:
         self._check_up()

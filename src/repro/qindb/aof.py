@@ -146,6 +146,33 @@ class AofSegment:
         record, _end = decode_record(raw)
         return record
 
+    def read_many(self, locations: List[RecordLocation]) -> List[Record]:
+        """Read and decode a batch of records in one command set.
+
+        The unit computes the union of pages the locations touch and
+        issues coalesced multi-page reads (see
+        :meth:`~repro.ssd.native.NativeUnit.read_many`); a backend
+        without a batched read (the filesystem ablation path) falls back
+        to per-location reads.  Records return in input order.
+        """
+        for location in locations:
+            if location.segment_id != self.segment_id:
+                raise StorageError(
+                    f"location {location} does not belong to segment "
+                    f"{self.segment_id}"
+                )
+        unit_read_many = getattr(self._unit, "read_many", None)
+        if unit_read_many is not None:
+            raws = unit_read_many(
+                [(location.offset, location.length) for location in locations]
+            )
+        else:
+            raws = [
+                self._unit.read(location.offset, location.length)
+                for location in locations
+            ]
+        return [decode_record(raw)[0] for raw in raws]
+
     def scan(self) -> Iterator[Tuple[int, Record]]:
         """Yield every ``(offset, record)`` — the recovery scan.
 
@@ -335,6 +362,27 @@ class AofManager:
     def read(self, location: RecordLocation) -> Record:
         """Read the record at ``location`` from whichever segment owns it."""
         return self.segment(location.segment_id).read(location)
+
+    def read_many(self, locations: List[RecordLocation]) -> List[Record]:
+        """Read a batch of records, grouped per owning segment.
+
+        Locations bucket by segment (visited in id order, so the device
+        charge sequence is deterministic) and each segment serves its
+        share as one coalesced :meth:`AofSegment.read_many`; records
+        return in input order.
+        """
+        by_segment: Dict[int, List[int]] = {}
+        for index, location in enumerate(locations):
+            by_segment.setdefault(location.segment_id, []).append(index)
+        records: List[Record | None] = [None] * len(locations)
+        for segment_id in sorted(by_segment):
+            indices = by_segment[segment_id]
+            decoded = self.segment(segment_id).read_many(
+                [locations[index] for index in indices]
+            )
+            for index, record in zip(indices, decoded):
+                records[index] = record
+        return records
 
     def flush(self) -> None:
         """Flush the active segment's partial page."""

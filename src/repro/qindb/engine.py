@@ -132,6 +132,9 @@ class QinDBStats:
     # Batched write path (all zero while only single puts are issued).
     put_batches: int = 0
     batched_puts: int = 0
+    # Batched read path (all zero while only single gets are issued).
+    get_batches: int = 0
+    batched_gets: int = 0
     #: host program commands the device served; batched appends coalesce
     #: contiguous pages so this falls while pages written stays equal
     device_write_ops: int = 0
@@ -146,6 +149,11 @@ class QinDBStats:
     def mean_put_batch_size(self) -> float:
         """Keys per batch across all put_batch calls (0.0 if none)."""
         return self.batched_puts / self.put_batches if self.put_batches else 0.0
+
+    @property
+    def mean_get_batch_size(self) -> float:
+        """Keys per batch across all get_batch calls (0.0 if none)."""
+        return self.batched_gets / self.get_batches if self.get_batches else 0.0
 
     @property
     def software_write_amplification(self) -> float:
@@ -410,6 +418,100 @@ class QinDB:
             return value
         finally:
             self.reads_in_flight -= 1
+
+    def get_batch(
+        self, items: Sequence[Tuple[bytes, int]]
+    ) -> List[Optional[bytes]]:
+        """Fetch a batch of ``(key, version)`` values in one engine pass.
+
+        The batched read path, mirroring what :meth:`put_batch` did for
+        writes:
+
+        * item resolution goes through the memtable's O(1) mirror dict
+          (plus one :meth:`~repro.qindb.memtable.Memtable.resolve` per
+          *distinct* deduplicated item for its traceback target), and one
+          real skip-list search on the last item reproduces the batch's
+          CPU charge — the same single-descent amortization
+          :meth:`delete_batch` uses;
+        * the read cache is probed first per distinct location, so a hot
+          record cached once serves every batch slot that resolves to it;
+        * cache misses deduplicate by :class:`RecordLocation` — a zipfian
+          batch full of hot keys pays one positioned device read where
+          the per-key loop pays one per request — and the survivors issue
+          as coalesced multi-page reads
+          (:meth:`~repro.qindb.aof.AofManager.read_many`), charging the
+          device per *batch* instead of per key.
+
+        Returns one entry per item, in input order: the value bytes, or
+        ``None`` where :meth:`get` would raise
+        :class:`~repro.errors.KeyNotFoundError` (absent, deleted, or a
+        broken dedup chain) — per-slot sentinels let the replica layer
+        fail over individual keys without losing the rest of the batch.
+        The values and ``user_bytes_read`` accounting are byte-identical
+        to sequential :meth:`get` calls; only the simulated time and the
+        batch counters differ.
+        """
+        self._check_open()
+        if not items:
+            return []
+        lookup = self.memtable.lookup
+        resolve = self.memtable.resolve
+        results: List[Optional[bytes]] = [None] * len(items)
+        #: location -> result slots it satisfies (dedup happens here)
+        need: Dict[RecordLocation, List[int]] = {}
+        #: (key, version) -> traceback target, memoized across the batch
+        older_cache: Dict[Tuple[bytes, int], Optional[IndexItem]] = {}
+        for index, (key, version) in enumerate(items):
+            item = lookup(key, version)
+            if item is None or item.deleted:
+                continue
+            if item.has_value:
+                need.setdefault(item.location, []).append(index)
+                continue
+            pair = (key, version)
+            if pair in older_cache:
+                older = older_cache[pair]
+            else:
+                _item, older = resolve(key, version)
+                older_cache[pair] = older
+            if older is not None:
+                need.setdefault(older.location, []).append(index)
+        # Only the final search's step count survives to _charge_cpu: one
+        # real search on the last item stands in for the whole batch's
+        # descent, exactly as the batched delete path charges.
+        self.memtable.get(*items[-1])
+        self._charge_cpu()
+        self.reads_in_flight += 1
+        try:
+            cache = self.read_cache
+            misses: List[RecordLocation] = []
+            if cache is not None:
+                for location in need:
+                    value = cache.get(location)
+                    if value is not None:
+                        self.device.advance(self.config.cpu_per_op_s)
+                        for index in need[location]:
+                            results[index] = value
+                    else:
+                        misses.append(location)
+            else:
+                misses = list(need)
+            if misses:
+                records = self.aofs.read_many(misses)
+                for location, record in zip(misses, records):
+                    if cache is not None and record.value is not None:
+                        cache.put(location, record.value)
+                    for index in need[location]:
+                        results[index] = record.value
+            for index, (key, _version) in enumerate(items):
+                value = results[index]
+                if value is not None:
+                    self.user_bytes_read += len(key) + len(value)
+        finally:
+            self.reads_in_flight -= 1
+        self.batch_counters.get_batches += 1
+        self.batch_counters.batched_gets += len(items)
+        return results
 
     def delete(self, key: bytes, version: int) -> None:
         """Flag ``(key, version)`` deleted and feed the GC table.
@@ -783,6 +885,8 @@ class QinDB:
             read_cache_used_bytes=cache.used_bytes if cache else 0,
             put_batches=self.batch_counters.batches,
             batched_puts=self.batch_counters.batched_puts,
+            get_batches=self.batch_counters.get_batches,
+            batched_gets=self.batch_counters.batched_gets,
             device_write_ops=counters.host_write_ops,
             user_bytes_written=self.user_bytes_written,
             user_bytes_read=self.user_bytes_read,

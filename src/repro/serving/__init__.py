@@ -1,0 +1,12 @@
+"""Read-serving fast path: coalescing frontend with admission control.
+
+The :class:`~repro.serving.frontend.ServingFrontend` sits between query
+clients and the Mint clusters.  It micro-batches concurrent arrivals per
+``(dc, group)`` into one scatter-gather :meth:`multi_get`, sheds load
+when a replica's queue would exceed its depth bound, and tracks
+per-request latency percentiles against a configured SLO.
+"""
+
+from repro.serving.frontend import ServingConfig, ServingFrontend
+
+__all__ = ["ServingConfig", "ServingFrontend"]

@@ -1,0 +1,72 @@
+"""Streaming (reservoir) mode of :class:`PercentileTracker`.
+
+The exact mode is pinned byte-for-byte by the tier-1 tests; streaming
+mode must stay bounded-memory while agreeing with exact percentiles
+within a tolerance on a fixed seed, and must report the exact mean and
+observed count regardless of what the reservoir holds.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.metrics import PercentileTracker
+from repro.errors import ConfigError
+
+
+def test_streaming_bounds_memory_and_counts_observed():
+    tracker = PercentileTracker(max_samples=128)
+    for value in range(10_000):
+        tracker.add(float(value))
+    assert len(tracker) == 10_000
+    assert tracker.held_samples == 128
+
+
+def test_streaming_mean_is_exact():
+    exact = PercentileTracker()
+    stream = PercentileTracker(max_samples=64)
+    rng = random.Random(5)
+    values = [rng.expovariate(1.0) for _ in range(5_000)]
+    exact.extend(values)
+    stream.extend(values)
+    assert stream.mean == pytest.approx(exact.mean, rel=1e-12)
+
+
+def test_streaming_percentiles_agree_with_exact_on_fixed_seed():
+    rng = random.Random(42)
+    values = [rng.lognormvariate(0.0, 1.0) for _ in range(50_000)]
+    exact = PercentileTracker()
+    exact.extend(values)
+    stream = PercentileTracker(max_samples=4096, seed=7)
+    stream.extend(values)
+    for p in (50.0, 90.0, 99.0):
+        want = exact.percentile(p)
+        got = stream.percentile(p)
+        assert got == pytest.approx(want, rel=0.15), p
+
+
+def test_streaming_determinism_same_seed():
+    def build():
+        tracker = PercentileTracker(max_samples=32, seed=9)
+        tracker.extend(float((i * 37) % 1001) for i in range(5_000))
+        return tracker
+
+    a, b = build(), build()
+    assert a.percentile(50) == b.percentile(50)
+    assert a.percentile(99) == b.percentile(99)
+
+
+def test_exact_mode_unchanged_by_default():
+    tracker = PercentileTracker()
+    tracker.extend(float(i) for i in range(1, 101))
+    assert tracker.held_samples == 100
+    assert len(tracker) == 100
+    assert tracker.percentile(50) == 50.0
+    assert tracker.quantiles()["count"] == 100.0
+
+
+def test_invalid_max_samples_rejected():
+    with pytest.raises(ConfigError):
+        PercentileTracker(max_samples=0)

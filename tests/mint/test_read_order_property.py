@@ -1,0 +1,102 @@
+"""Property tests for ``NodeGroup.read_order`` under faults and load.
+
+The read path leans on ``read_order`` for three promises:
+
+* **determinism** — at equal load the preference order is a pure
+  function of the key, so two identical fleets route identically;
+* **liveness** — while any live replica exists, a down node is never
+  preferred over a live one (the failover loop relies on this to find a
+  live copy in one pass);
+* **rotation** — the batch-assignment bias rotates hot keys across
+  replicas instead of hammering the rank-0 copy.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mint.cluster import MintCluster, MintConfig
+
+NODES = 3
+
+keys = st.binary(min_size=1, max_size=24)
+crash_masks = st.lists(
+    st.booleans(), min_size=NODES, max_size=NODES
+).filter(lambda mask: not all(mask))
+
+
+def fresh_group():
+    cluster = MintCluster(
+        "dc-prop",
+        MintConfig(
+            group_count=1, nodes_per_group=NODES, replica_count=NODES,
+            node_capacity_bytes=64 * 1024 * 1024,
+        ),
+    )
+    return cluster.groups[0]
+
+
+@given(key=keys)
+@settings(max_examples=60, deadline=None)
+def test_read_order_is_deterministic_at_equal_load(key):
+    group = fresh_group()
+    first = [node.name for node in group.read_order(key)]
+    second = [node.name for node in group.read_order(key)]
+    assert first == second
+    assert sorted(first) == sorted(node.name for node in group.nodes)
+
+
+@given(key=keys, mask=crash_masks)
+@settings(max_examples=60, deadline=None)
+def test_down_nodes_never_precede_live_ones(key, mask):
+    group = fresh_group()
+    for node, down in zip(group.nodes, mask):
+        if down:
+            node.fail()
+    order = group.read_order(key)
+    states = [node.is_up for node in order]
+    # once the order reaches a down node, every later node is down too
+    assert states == sorted(states, reverse=True)
+    assert order[0].is_up
+
+
+@given(key=keys, mask=crash_masks)
+@settings(max_examples=60, deadline=None)
+def test_assignment_bias_composes_with_faults(key, mask):
+    """Rotation never resurrects a down node: even when assignment
+    counts make every live node 'busier' than the down one, the down
+    node stays last."""
+    group = fresh_group()
+    for node, down in zip(group.nodes, mask):
+        if down:
+            node.fail()
+    assigned = {node.name: 10 for node in group.nodes if node.is_up}
+    order = group.read_order(key, assigned)
+    assert order[0].is_up
+    states = [node.is_up for node in order]
+    assert states == sorted(states, reverse=True)
+
+
+@given(key=keys)
+@settings(max_examples=60, deadline=None)
+def test_assignment_bias_rotates_hot_keys(key):
+    """Simulating a batch assigning the same hot key repeatedly must
+    visit every live replica before reusing one."""
+    group = fresh_group()
+    assigned: dict = {}
+    heads = []
+    for _ in range(NODES):
+        head = group.read_order(key, assigned)[0]
+        heads.append(head.name)
+        assigned[head.name] = assigned.get(head.name, 0) + 1
+    assert sorted(heads) == sorted(node.name for node in group.nodes)
+
+
+@given(key=keys)
+@settings(max_examples=30, deadline=None)
+def test_empty_assignment_matches_unassigned_order(key):
+    group = fresh_group()
+    assert [n.name for n in group.read_order(key, {})] == [
+        n.name for n in group.read_order(key)
+    ]

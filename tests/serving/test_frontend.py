@@ -1,0 +1,183 @@
+"""ServingFrontend: coalescing, admission control, SLO accounting.
+
+The frontend's contract: concurrent arrivals for one group share a
+batch; a request past the queue-depth bound is shed synchronously with
+a typed :class:`OverloadError` (never silently dropped, never queued);
+admitted requests complete with the right bytes and their latency lands
+in the streaming trackers; draining leaves nothing outstanding.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OverloadError
+from repro.mint.cluster import MintCluster, MintConfig
+from repro.obs.registry import MetricsRegistry
+from repro.serving import ServingConfig, ServingFrontend
+from repro.simulation.kernel import Simulator
+
+
+def make_fleet(value_bytes: int = 256):
+    sim = Simulator()
+    cluster = MintCluster(
+        "dc0",
+        MintConfig(
+            group_count=2, nodes_per_group=3, replica_count=3,
+            node_capacity_bytes=64 * 1024 * 1024,
+        ),
+    )
+    expect = {}
+    for index in range(60):
+        key = f"doc-{index:04d}".encode()
+        value = f"v-{index:04d}-".encode() * max(1, value_bytes // 8)
+        cluster.put(key, 1, value)
+        expect[key] = value
+    return sim, cluster, expect
+
+
+def run_clients(sim, frontend, requests):
+    """Submit ``(dc, key, version)`` concurrently; returns outcomes."""
+    outcomes = {}
+
+    def client(index, dc, key, version):
+        try:
+            event = frontend.try_submit(dc, key, version)
+        except OverloadError:
+            outcomes[index] = "shed"
+            return
+            yield  # pragma: no cover - makes this a generator
+        outcomes[index] = yield event
+
+    processes = [
+        sim.process(client(index, *request))
+        for index, request in enumerate(requests)
+    ]
+    sim.run(until=sim.all_of(processes))
+    frontend.drain()
+    return outcomes
+
+
+def test_concurrent_arrivals_coalesce_into_batches():
+    sim, cluster, expect = make_fleet()
+    frontend = ServingFrontend(
+        sim, {"dc0": cluster},
+        ServingConfig(coalesce_window_s=0.002, max_batch=64),
+    )
+    keys = sorted(expect)[:20]
+    outcomes = run_clients(
+        sim, frontend, [("dc0", key, 1) for key in keys]
+    )
+    assert [outcomes[i] for i in range(20)] == [expect[k] for k in keys]
+    # 20 concurrent arrivals over 2 groups: exactly one batch per group,
+    # far fewer engine round-trips than requests.
+    assert frontend.batches["dc0"] == 2
+    assert frontend.batched_keys["dc0"] == 20
+    assert frontend.outstanding_total == 0
+
+
+def test_overload_sheds_with_typed_error_and_counters():
+    sim, cluster, expect = make_fleet()
+    frontend = ServingFrontend(
+        sim, {"dc0": cluster},
+        ServingConfig(max_queue_depth_per_replica=2),
+    )
+    keys = list(sorted(expect)) * 3
+    outcomes = run_clients(
+        sim, frontend, [("dc0", key, 1) for key in keys]
+    )
+    shed = sum(1 for value in outcomes.values() if value == "shed")
+    served = sum(1 for value in outcomes.values() if isinstance(value, bytes))
+    assert shed > 0 and served > 0
+    assert shed + served == len(keys)
+    assert frontend.shed["dc0"] == shed
+    assert frontend.admitted["dc0"] == served
+    assert sum(group.shed_gets for group in cluster.groups) == shed
+    # every admitted read still returned the right bytes
+    for index, value in outcomes.items():
+        if isinstance(value, bytes):
+            assert value == expect[keys[index]]
+
+
+def test_admitted_p99_holds_slo_under_shedding():
+    sim, cluster, expect = make_fleet()
+    config = ServingConfig(
+        max_queue_depth_per_replica=2, slo_p99_s=0.050
+    )
+    frontend = ServingFrontend(sim, {"dc0": cluster}, config)
+    keys = list(sorted(expect)) * 5
+    run_clients(sim, frontend, [("dc0", key, 1) for key in keys])
+    report = frontend.report()
+    assert report["fleet"]["shed"] > 0
+    assert report["fleet"]["slo_met"]
+    assert report["fleet"]["p99_s"] <= config.slo_p99_s
+
+
+def test_depth_limit_scales_with_healthy_replicas():
+    sim, cluster, expect = make_fleet()
+    frontend = ServingFrontend(
+        sim, {"dc0": cluster}, ServingConfig(max_queue_depth_per_replica=4)
+    )
+    group = cluster.groups[0]
+    assert frontend.depth_limit(group) == 12
+    group.nodes[0].fail()
+    assert frontend.depth_limit(group) == 8
+
+
+def test_missing_key_completes_with_none():
+    sim, cluster, expect = make_fleet()
+    frontend = ServingFrontend(sim, {"dc0": cluster})
+    outcomes = run_clients(sim, frontend, [("dc0", b"absent", 1)])
+    assert outcomes[0] is None
+    assert frontend.not_found["dc0"] == 1
+
+
+def test_all_replicas_down_reports_errors_not_crash():
+    sim, cluster, expect = make_fleet()
+    frontend = ServingFrontend(sim, {"dc0": cluster})
+    for node in cluster.all_nodes:
+        node.fail()
+    key = sorted(expect)[0]
+    outcomes = run_clients(sim, frontend, [("dc0", key, 1)])
+    assert outcomes[0] is None
+    assert frontend.errors["dc0"] == 1
+
+
+def test_latency_grows_with_coalescing_window():
+    def p50(window_s):
+        sim, cluster, expect = make_fleet()
+        frontend = ServingFrontend(
+            sim, {"dc0": cluster}, ServingConfig(coalesce_window_s=window_s)
+        )
+        run_clients(
+            sim, frontend, [("dc0", key, 1) for key in sorted(expect)[:10]]
+        )
+        return frontend.latency["dc0"].percentile(50.0)
+
+    assert p50(0.010) > p50(0.0)
+    assert p50(0.010) >= 0.010  # the window is a latency floor
+
+
+def test_register_metrics_exposes_serving_family():
+    sim, cluster, expect = make_fleet()
+    frontend = ServingFrontend(sim, {"dc0": cluster})
+    registry = MetricsRegistry()
+    frontend.register_metrics(registry)
+    run_clients(
+        sim, frontend, [("dc0", key, 1) for key in sorted(expect)[:6]]
+    )
+    snapshot = dict(registry.snapshot().values)
+    assert snapshot["serving.dc0.requests"] == 6
+    assert snapshot["serving.dc0.admitted"] == 6
+    assert snapshot["serving.dc0.shed"] == 0
+    assert snapshot["serving.dc0.latency_p99_s"] > 0.0
+
+
+def test_sequential_requests_after_drain_reuse_bucket():
+    sim, cluster, expect = make_fleet()
+    frontend = ServingFrontend(sim, {"dc0": cluster})
+    key = sorted(expect)[0]
+    first = run_clients(sim, frontend, [("dc0", key, 1)])
+    second = run_clients(sim, frontend, [("dc0", key, 1)])
+    assert first[0] == second[0] == expect[key]
+    assert frontend.batches["dc0"] == 2
