@@ -38,15 +38,21 @@ class NetworkMonitor:
         topology: Topology,
         sample_interval_s: float = 60.0,
         ewma_alpha: float = 0.3,
+        congestion_threshold: float = 0.8,
     ) -> None:
         if sample_interval_s <= 0:
             raise ConfigError("sample interval must be positive")
         if not 0.0 < ewma_alpha <= 1.0:
             raise ConfigError("EWMA alpha must be in (0, 1]")
+        if not 0.0 < congestion_threshold <= 1.0:
+            raise ConfigError("congestion threshold must be in (0, 1]")
         self.topology = topology
         self.sim = topology.sim
         self.sample_interval_s = sample_interval_s
         self.ewma_alpha = ewma_alpha
+        #: EWMA utilization above this reads the link as congested (the
+        #: ``.congested`` gauge the health engine's warn rule watches)
+        self.congestion_threshold = congestion_threshold
         self._estimates: Dict[Tuple[str, str], LinkEstimate] = {
             pair: LinkEstimate() for pair in topology.backbone
         }
@@ -145,7 +151,9 @@ class NetworkMonitor:
 
         ``bifrost.monitor.<src>-<dst>.utilization_ewma`` is the smoothed
         utilization steering route choice; ``.samples`` counts how many
-        sampling-loop ticks have fed it.
+        sampling-loop ticks have fed it; ``.congested`` is the
+        thresholded health view (EWMA above
+        :attr:`congestion_threshold`).
         """
         for (source, destination), estimate in self._estimates.items():
             registry.register_many(
@@ -155,5 +163,10 @@ class NetworkMonitor:
                         lambda e=estimate: e.utilization_ewma
                     ),
                     "samples": lambda e=estimate: e.samples,
+                    "congested": lambda e=estimate: (
+                        1.0
+                        if e.utilization_ewma > self.congestion_threshold
+                        else 0.0
+                    ),
                 },
             )

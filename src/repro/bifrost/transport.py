@@ -178,6 +178,23 @@ class BifrostTransport:
             return nullcontext()
         return self.tracer.span(name, track=track, parent=parent, **attrs)
 
+    def register_metrics(self, registry) -> None:
+        """Register the lifetime delivery-health counters.
+
+        ``bifrost.transport.*`` carries the counters that persist across
+        ``deliver_version`` calls (per-report counters reset each
+        version) — the retransmit/abandon/failover tallies the telemetry
+        plane turns into rates.
+        """
+        registry.register_many(
+            "bifrost.transport",
+            {
+                "retransmissions": lambda: self.total_retransmissions,
+                "abandoned": lambda: self.total_abandoned,
+                "relay_failovers": lambda: self.total_relay_failovers,
+            },
+        )
+
     def corruption_probability(self) -> float:
         """Effective per-hop damage probability.
 

@@ -11,6 +11,7 @@ Usage::
     python -m repro perf --json     # kernel bench: events/sec per scenario
     python -m repro serve --json    # read-serving: batching, shedding, SLO
     python -m repro chaos --plan single-node-crash  # faults + recovery
+    python -m repro health --json   # telemetry: alerts, MTTD/MTTR, profile
 
 Each subcommand is a smaller sibling of the corresponding benchmark in
 ``benchmarks/`` — same code paths, friendlier runtimes.  Every command
@@ -636,7 +637,11 @@ def _cmd_serve(args) -> int:
 def _cmd_chaos(args) -> int:
     from repro.workloads.chaos import ChaosConfig, run_chaos
 
-    result = run_chaos(ChaosConfig(plan=args.plan, cycles=args.cycles))
+    result = run_chaos(
+        ChaosConfig(
+            plan=args.plan, cycles=args.cycles, telemetry=args.telemetry
+        )
+    )
     data = result.data
 
     def render(data: dict) -> None:
@@ -687,9 +692,130 @@ def _cmd_chaos(args) -> int:
             f"{data['verified_keys']} acknowledged keys lost, "
             f"{data['under_replicated_final']} under-replicated"
         )
+        if "detection" in data:
+            detection = data["detection"]
+            print(
+                f"detection: {detection['detected']}/"
+                f"{detection['injected']} fault(s) detected "
+                f"({detection['undetected_required']} required miss(es)); "
+                f"MTTD mean {detection['mttd']['mean_s']:.2f}s, "
+                f"MTTR mean {detection['mttr']['mean_s']:.2f}s"
+            )
 
     _emit(args, data, render)
-    return 0 if data["lost_acknowledged_keys"] == 0 else 1
+    undetected = data.get("detection", {}).get("undetected_required", 0)
+    ok = data["lost_acknowledged_keys"] == 0 and undetected == 0
+    return 0 if ok else 1
+
+
+def _cmd_health(args) -> int:
+    from repro.workloads.health import HealthConfig, run_health
+
+    result = run_health(
+        HealthConfig(
+            plan=args.plan,
+            cycles=args.cycles,
+            sample_interval_s=args.interval,
+            fast_window_s=args.fast_window,
+            slow_window_s=args.slow_window,
+            watch_interval_s=args.watch_interval,
+            top_k=args.top_k,
+            include_flamegraph=args.flamegraph,
+        )
+    )
+    data = result.data
+    if args.trace_out:
+        with open(args.trace_out, "w") as handle:
+            json.dump(result.chaos.system.tracer.to_chrome_trace(), handle)
+        data["trace_out"] = args.trace_out
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def render(data: dict) -> None:
+        detection = data["detection"]
+        fault_rows = [
+            [
+                row["kind"],
+                row["target"],
+                f"{row['injected_at_s']:.2f}s",
+                row["detected_by"] or "UNDETECTED",
+                "-" if row["mttd_s"] is None else f"{row['mttd_s']:.2f}s",
+                "-" if row["mttr_s"] is None else f"{row['mttr_s']:.2f}s",
+            ]
+            for row in detection["faults"]
+        ]
+        print(
+            render_table(
+                ["fault", "target", "injected", "detected by", "MTTD",
+                 "MTTR"],
+                fault_rows,
+            )
+        )
+        print(
+            f"\nplan {data['plan']!r}: {detection['detected']}/"
+            f"{detection['injected']} fault(s) detected, "
+            f"{detection['undetected_required']} required miss(es); "
+            f"{len(data['alerts'])} alert(s) fired"
+        )
+        telemetry = data["telemetry"]
+        print(
+            f"telemetry: {telemetry['samples']} samples at "
+            f"{telemetry['sample_interval_s']}s, windows "
+            f"{telemetry['fast_window_s']}s/{telemetry['slow_window_s']}s; "
+            f"fleet score {data['health']['fleet_score']:.2f}"
+        )
+        watch_rows = [
+            [
+                f"{row['at_s']:.1f}s",
+                f"{row['fleet_score']:.2f}",
+                row["nodes_down"],
+                row["active_alerts"],
+                ",".join(row["alert_names"]) or "-",
+            ]
+            for row in data["watch"]
+        ]
+        print()
+        print(
+            render_table(
+                ["at", "fleet", "nodes down", "alerts", "firing"],
+                watch_rows,
+            )
+        )
+        profile = data["profile"]
+        stage_rows = [
+            [
+                row["operation"],
+                row["count"],
+                f"{row['total_s']:.3f}s",
+                f"{row['self_s']:.3f}s",
+                f"{row['device_s']:.3f}s",
+                f"{row['bytes']:,.0f}",
+            ]
+            for row in profile["stages"][: args.top_k]
+        ]
+        print()
+        print(
+            render_table(
+                ["operation", "spans", "total", "self", "device", "bytes"],
+                stage_rows,
+            )
+        )
+        print(
+            f"\nprofile: {profile['span_count']} spans, device busy "
+            f"{profile['device_busy_s']:.3f}s, "
+            f"{profile['bytes_moved']:,.0f} bytes moved"
+        )
+        if "trace_out" in data:
+            print(f"wrote Chrome trace to {data['trace_out']}")
+
+    _emit(args, data, render)
+    ok = (
+        data["lost_acknowledged_keys"] == 0
+        and data["detection"]["undetected_required"] == 0
+    )
+    return 0 if ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -855,10 +981,58 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--cycles", type=int, default=2,
         help="total update cycles (the first is the fault-free bootstrap)",
     )
+    chaos.add_argument(
+        "--telemetry", action=argparse.BooleanOptionalAction, default=True,
+        help="arm the telemetry plane (recorder + alerting + detection "
+        "join); --no-telemetry runs the bare equivalence-pinned harness",
+    )
+
+    health = commands.add_parser(
+        "health",
+        help="fleet-health telemetry: alerts, MTTD/MTTR, per-stage profile",
+    )
+    health.add_argument(
+        "--plan", default="single-node-crash",
+        help="fault scenario, as in `repro chaos --plan`",
+    )
+    health.add_argument("--cycles", type=int, default=3)
+    health.add_argument(
+        "--interval", type=float, default=0.25,
+        help="telemetry sampling interval (simulated seconds); bounds "
+        "detection latency",
+    )
+    health.add_argument(
+        "--fast-window", type=float, default=1.0,
+        help="fast burn-rate alert window (simulated seconds)",
+    )
+    health.add_argument(
+        "--slow-window", type=float, default=5.0,
+        help="slow burn-rate alert window (simulated seconds)",
+    )
+    health.add_argument(
+        "--watch-interval", type=float, default=2.0,
+        help="cadence of the periodic fleet summaries in the report",
+    )
+    health.add_argument(
+        "--top-k", type=int, default=10,
+        help="hot operations kept in the per-stage profile",
+    )
+    health.add_argument(
+        "--flamegraph", action="store_true",
+        help="include the flamegraph tree in the JSON report (large)",
+    )
+    health.add_argument(
+        "--out", default=None,
+        help="also write the full JSON report to this file",
+    )
+    health.add_argument(
+        "--trace-out", default=None,
+        help="write the Chrome trace (spans + alert/fault instants) here",
+    )
 
     for sub in (
         demo, fig5, fig9, month, dedup_sweep, report, observe, perf, serve,
-        chaos,
+        chaos, health,
     ):
         sub.add_argument(
             "--json", action="store_true",
@@ -877,6 +1051,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "perf": _cmd_perf,
         "serve": _cmd_serve,
         "chaos": _cmd_chaos,
+        "health": _cmd_health,
     }
     return handlers[args.command](args)
 

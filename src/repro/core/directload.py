@@ -136,6 +136,7 @@ class DirectLoad:
         }
         self.topology.register_metrics(self.metrics)
         self.monitor.register_metrics(self.metrics)
+        self.transport.register_metrics(self.metrics)
         for dc, cluster in self.clusters.items():
             cluster.register_metrics(self.metrics)
             # Ingestion spans share one track per data center, matching

@@ -75,12 +75,52 @@ class FaultInjector:
         #: the spawned event processes; drive the simulator over
         #: ``sim.all_of(injector.processes)`` to drain pending faults
         self.processes: List = []
+        #: ground truth for detection accounting: one record per event,
+        #: stamped with injection / heal / repair-complete sim times
+        #: (``None`` until the moment happens; see
+        #: :func:`repro.obs.health.join_detections`)
+        self.timeline: List[Dict[str, object]] = []
         self._start_time = 0.0
 
     def _span(self, name: str, track: str, **attrs):
         if self.tracer is None:
             return nullcontext()
         return self.tracer.span(name, track=track, **attrs)
+
+    def _instant(self, name: str, track: str, **attrs) -> None:
+        emit = getattr(self.tracer, "instant", None)
+        if emit is not None:
+            emit(name, track=track, **attrs)
+
+    # ------------------------------------------------------------------
+    def _record(self, index: int, kind: str, target: str) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "index": index,
+            "kind": kind,
+            "target": target,
+            "injected_at": None,
+            "healed_at": None,
+            "repaired_at": None,
+        }
+        self.timeline.append(record)
+        return record
+
+    def _mark_injected(self, record: Dict[str, object]) -> None:
+        record["injected_at"] = self.sim.now
+        self._instant(
+            f"fault_injected:{record['kind']}", f"fault:{record['index']}",
+            target=record["target"],
+        )
+
+    def _mark_healed(self, record: Dict[str, object]) -> None:
+        record["healed_at"] = self.sim.now
+        self._instant(
+            f"fault_healed:{record['kind']}", f"fault:{record['index']}",
+            target=record["target"],
+        )
+
+    def _mark_repaired(self, record: Dict[str, object]) -> None:
+        record["repaired_at"] = self.sim.now
 
     # ------------------------------------------------------------------
     def start(self, plan: FaultPlan) -> List:
@@ -171,6 +211,7 @@ class FaultInjector:
 
     # ------------------------------------------------------------------
     def _run_node_crash(self, index: int, event: NodeCrash):
+        record = self._record(index, "crash", event.node)
         yield self._wait_until(event.at_s)
         cluster, group, node = self._resolve_node(event.node)
         track = f"fault:{index}"
@@ -180,12 +221,16 @@ class FaultInjector:
             crashed_at = self.sim.now
             node.fail()
             self.counters.node_crashes += 1
+            self._mark_injected(record)
             yield self.sim.timeout(event.down_s)
             node.recover()
             self.counters.node_restarts += 1
+            self._mark_healed(record)
             self._repair(track, cluster, group, node, crashed_at)
+            self._mark_repaired(record)
 
     def _run_group_outage(self, index: int, event: GroupOutage):
+        record = self._record(index, "outage", event.group)
         yield self._wait_until(event.at_s)
         group, dc = self._resolve_group_path(event.group)
         cluster = self.clusters[dc]
@@ -199,13 +244,19 @@ class FaultInjector:
                 node.fail()
                 self.counters.node_crashes += 1
             self.counters.group_outages += 1
+            self._mark_injected(record)
             yield self.sim.timeout(event.down_s)
             for node in group.nodes:
                 node.recover()
                 self.counters.node_restarts += 1
                 self._repair(track, cluster, group, node, crashed_at)
+            self._mark_healed(record)
+            self._mark_repaired(record)
 
     def _run_link_partition(self, index: int, event: LinkPartition):
+        record = self._record(
+            index, "partition", f"{event.source}-{event.destination}"
+        )
         yield self._wait_until(event.at_s)
         track = f"fault:{index}"
         with self._span(
@@ -216,12 +267,17 @@ class FaultInjector:
                 event.source, event.destination, event.both_directions
             )
             self.counters.link_partitions += 1
+            self._mark_injected(record)
             yield self.sim.timeout(event.duration_s)
             self.topology.restore_link(
                 event.source, event.destination, event.both_directions
             )
+            self._mark_healed(record)
 
     def _run_link_degrade(self, index: int, event: LinkDegrade):
+        record = self._record(
+            index, "degrade", f"{event.source}-{event.destination}"
+        )
         yield self._wait_until(event.at_s)
         track = f"fault:{index}"
         with self._span(
@@ -233,12 +289,15 @@ class FaultInjector:
                 event.both_directions,
             )
             self.counters.link_degradations += 1
+            self._mark_injected(record)
             yield self.sim.timeout(event.duration_s)
             self.topology.restore_link(
                 event.source, event.destination, event.both_directions
             )
+            self._mark_healed(record)
 
     def _run_corruption_burst(self, index: int, event: CorruptionBurst):
+        record = self._record(index, "corrupt", "transport")
         yield self._wait_until(event.at_s)
         track = f"fault:{index}"
         with self._span("corruption_burst", track, p=event.probability):
@@ -246,10 +305,12 @@ class FaultInjector:
             # only its own contribution.
             self.transport.corruption_boost += event.probability
             self.counters.corruption_bursts += 1
+            self._mark_injected(record)
             yield self.sim.timeout(event.duration_s)
             self.transport.corruption_boost = max(
                 0.0, self.transport.corruption_boost - event.probability
             )
+            self._mark_healed(record)
 
     # ------------------------------------------------------------------
     def register_metrics(self, registry) -> None:

@@ -56,6 +56,12 @@ class RepairResult:
 class ReplicaRepairer:
     """Copies missed ``(key, version)`` records from healthy peers."""
 
+    def __init__(self, duration_hist=None) -> None:
+        #: optional :class:`~repro.obs.hist.LogHistogram` accumulating
+        #: per-run repair device-seconds — mergeable across repairers,
+        #: so a fleet-wide repair-duration distribution costs nothing
+        self.duration_hist = duration_hist
+
     def repair_node(
         self,
         cluster: MintCluster,
@@ -112,6 +118,8 @@ class ReplicaRepairer:
             peer.engine.device.now - clocks_before[peer.name]
             for peer in group.nodes
         )
+        if self.duration_hist is not None:
+            self.duration_hist.add(result.device_seconds)
         return result
 
     # ------------------------------------------------------------------

@@ -363,6 +363,17 @@ class MintCluster:
                     "batched_gets": lambda group=group: group.batched_gets,
                     "failover_gets": lambda group=group: group.failover_gets,
                     "shed_gets": lambda group=group: group.shed_gets,
+                    # Health-plane gauges: live-replica fraction plus the
+                    # durability debt (parked writes, unreplayed repair
+                    # backlog) a bare healthy count hides.
+                    "healthy": lambda group=group: group.healthy_count,
+                    "nodes": lambda group=group: len(group.nodes),
+                    "parked_writes": lambda group=group: len(
+                        group.pending_writes
+                    ),
+                    "repair_backlog": lambda group=group: sum(
+                        len(ops) for ops in group.repair_backlog.values()
+                    ),
                 },
             )
 

@@ -1,0 +1,157 @@
+"""Per-stage resource attribution over tracer spans.
+
+The tracer records *what happened when*; the profiler folds the finished
+spans into *what it cost*: per-operation counts, total and self
+simulated time (self = duration minus direct children, the flamegraph
+convention), bytes moved (summed from span ``bytes`` attributes), and
+device busy time (spans on foreign-clock tracks — storage-engine device
+clocks — measure device occupancy, not simulated wall time, so they
+aggregate separately).
+
+Two exports:
+
+* :func:`profile_tracer` — the flat attribution table plus top-k hot
+  operations by self time;
+* :func:`flamegraph` — the nested ``{name, value, children}`` JSON the
+  d3-flamegraph family of viewers consumes, with same-name siblings
+  folded the way stack collapsing does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: span attribute keys that count as "bytes moved" by that operation
+_BYTE_ATTRS = ("bytes", "bytes_sent", "bytes_copied")
+
+
+def _span_bytes(attrs: Dict[str, object]) -> float:
+    total = 0.0
+    for key in _BYTE_ATTRS:
+        value = attrs.get(key)
+        if isinstance(value, (int, float)):
+            total += float(value)
+    return total
+
+
+def profile_tracer(tracer, top_k: int = 10) -> Dict[str, object]:
+    """Fold finished spans into a per-operation resource table.
+
+    Foreign-clock tracks (device clocks) contribute to ``device_s``
+    instead of ``total_s``/``self_s`` — their timestamps live on a
+    different time base and must not mix with simulated-time totals.
+    """
+    spans = tracer.finished_spans()
+    foreign = getattr(tracer, "_foreign_clock_tracks", set())
+    child_time: Dict[int, float] = {}
+    for span in spans:
+        if span.parent_id is not None and span.track not in foreign:
+            child_time[span.parent_id] = (
+                child_time.get(span.parent_id, 0.0) + span.duration_s
+            )
+    rows: Dict[str, Dict[str, object]] = {}
+    device_total = 0.0
+    bytes_total = 0.0
+    for span in spans:
+        row = rows.setdefault(
+            span.name,
+            {
+                "operation": span.name,
+                "count": 0,
+                "total_s": 0.0,
+                "self_s": 0.0,
+                "device_s": 0.0,
+                "bytes": 0.0,
+            },
+        )
+        row["count"] += 1
+        moved = _span_bytes(span.attrs)
+        row["bytes"] += moved
+        bytes_total += moved
+        if span.track in foreign:
+            row["device_s"] += span.duration_s
+            device_total += span.duration_s
+            continue
+        row["total_s"] += span.duration_s
+        self_s = span.duration_s - child_time.get(span.span_id, 0.0)
+        row["self_s"] += max(0.0, self_s)
+    ordered = sorted(
+        rows.values(),
+        key=lambda row: (row["total_s"], row["device_s"]),
+        reverse=True,
+    )
+    hot = sorted(
+        rows.values(),
+        key=lambda row: (row["self_s"], row["device_s"]),
+        reverse=True,
+    )
+    return {
+        "span_count": len(spans),
+        "stages": ordered,
+        "top_ops": [row["operation"] for row in hot[:top_k]],
+        "device_busy_s": device_total,
+        "bytes_moved": bytes_total,
+    }
+
+
+def _fold_children(
+    children_of: Dict[Optional[int], List],
+    parent_ids: List[Optional[int]],
+) -> List[Dict[str, object]]:
+    """Merge same-name children of ``parent_ids``, recursively.
+
+    Stack collapsing: every span named ``a`` under any of the merged
+    parents becomes one node whose children are in turn the merged
+    children of *all* those ``a`` spans — so ``cycle -> build`` twice
+    folds into one ``build`` frame of summed width.
+    """
+    groups: Dict[str, List] = {}
+    order: List[str] = []
+    for parent_id in parent_ids:
+        for span in children_of.get(parent_id, ()):
+            if span.name not in groups:
+                groups[span.name] = []
+                order.append(span.name)
+            groups[span.name].append(span)
+    return [
+        {
+            "name": name,
+            "value": sum(span.duration_s for span in groups[name]),
+            "count": len(groups[name]),
+            "children": _fold_children(
+                children_of, [span.span_id for span in groups[name]]
+            ),
+        }
+        for name in order
+    ]
+
+
+def flamegraph(tracer, root_name: str = "trace") -> Dict[str, object]:
+    """Nested ``{name, value, children}`` JSON over the span forest.
+
+    ``value`` is total simulated seconds (the d3-flamegraph width
+    metric); parentless spans become the synthetic root's children.
+    Foreign-clock tracks are excluded — their time base differs.
+    """
+    foreign = getattr(tracer, "_foreign_clock_tracks", set())
+    spans = [
+        span for span in tracer.finished_spans()
+        if span.track not in foreign
+    ]
+    known = {span.span_id for span in spans}
+    children_of: Dict[Optional[int], List] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in known else None
+        children_of.setdefault(parent, []).append(span)
+    for siblings in children_of.values():
+        siblings.sort(key=lambda span: span.span_id)
+    children = _fold_children(children_of, [None])
+    return {
+        "name": root_name,
+        "value": sum(child["value"] for child in children),
+        "count": len(spans),
+        "children": children,
+    }
+
+
+__all__ = ["flamegraph", "profile_tracer"]

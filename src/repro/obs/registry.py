@@ -54,12 +54,19 @@ class MetricsSnapshot:
         """Per-counter differences since ``earlier``.
 
         A counter absent from the earlier snapshot (registered mid-run)
-        counts from 0.0, so growing systems never KeyError a diff.
+        counts from 0.0, so growing systems never KeyError a diff; a
+        counter absent from *this* snapshot (unregistered, or an array
+        row that shrank) reports 0.0 growth instead of silently
+        vanishing — the union of both name sets always comes back.
         """
-        return {
+        out = {
             name: value - earlier.values.get(name, 0.0)
             for name, value in self.values.items()
         }
+        for name in earlier.values:
+            if name not in out:
+                out[name] = 0.0
+        return out
 
 
 #: reads a whole row of related counters in one call
@@ -236,7 +243,12 @@ class MetricsRegistry:
             group, index = self._members[name]
         except KeyError:
             raise ConfigError(f"no metric named {name!r}") from None
-        return float(tuple(group.read_row())[index])
+        row = tuple(group.read_row())
+        # A row shorter than its registered family (a member added to
+        # the registration before the backing store grew, mid-run) reads
+        # 0.0 — the same "pre-registration history is zero" contract
+        # scalar counters follow — instead of killing the read.
+        return float(row[index]) if index < len(row) else 0.0
 
     def collect(self, prefix: Optional[str] = None) -> Dict[str, float]:
         """Materialize every (matching) metric into a plain dict.
@@ -264,14 +276,20 @@ class MetricsRegistry:
                 if not wanted:
                     continue
                 row = tuple(entry.read_row())
+                width = len(row)
                 for name, index in wanted:
-                    out[name] = float(row[index])
+                    # Short rows (family registered before the backing
+                    # store grew) read 0.0 past the end, never IndexError
+                    # — one lagging row must not kill the whole snapshot.
+                    out[name] = float(row[index]) if index < width else 0.0
                 continue
             row = tuple(entry.read_row())
+            width = len(row)
             indices = entry.indices
             for position, suffix in enumerate(entry.suffixes):
-                out[f"{entry_prefix}.{suffix}"] = float(
-                    row[indices[position]]
+                index = indices[position]
+                out[f"{entry_prefix}.{suffix}"] = (
+                    float(row[index]) if index < width else 0.0
                 )
         return out
 

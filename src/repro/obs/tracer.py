@@ -45,6 +45,28 @@ def _as_clock(source) -> Clock:
 
 
 @dataclass(slots=True)
+class Instant:
+    """A zero-duration marker event (an alert firing, a fault landing).
+
+    Instants share the span tracks but carry no hierarchy — they exist
+    so detections line up against injected faults in the trace viewer.
+    """
+
+    name: str
+    track: str
+    at_s: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "track": self.track,
+            "at_s": self.at_s,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass(slots=True)
 class Span:
     """One timed region of the pipeline."""
 
@@ -197,6 +219,7 @@ class Tracer:
         #: inert context and nothing is ever recorded or allocated
         self.enabled = bool(enabled)
         self.spans: List[Span] = []
+        self.instants: List[Instant] = []
         self._open_stacks: Dict[str, List[Span]] = {}
         #: tracks whose clock differs from the tracer's (never parent
         #: into the main track: different time base)
@@ -237,14 +260,38 @@ class Tracer:
         self._foreign_clock_tracks.add(name)
         return TraceTrack(self, name, _as_clock(clock))
 
+    def instant(
+        self,
+        name: str,
+        track: str = MAIN_TRACK,
+        at: Optional[float] = None,
+        **attrs,
+    ) -> Optional[Instant]:
+        """Record a zero-duration marker on ``track``.
+
+        ``at`` overrides the tracer clock (alert engines evaluate at a
+        sample timestamp, not "now").  No-op when tracing is disabled.
+        """
+        if not self.enabled:
+            return None
+        event = Instant(
+            name=name,
+            track=track,
+            at_s=self._clock() if at is None else at,
+            attrs=dict(attrs),
+        )
+        self.instants.append(event)
+        return event
+
     def current(self, track: str = MAIN_TRACK) -> Optional[Span]:
         """The innermost open span on ``track``, if any."""
         stack = self._open_stacks.get(track)
         return stack[-1] if stack else None
 
     def clear(self) -> None:
-        """Drop all finished spans (open spans survive)."""
+        """Drop all finished spans and instants (open spans survive)."""
         self.spans = [s for s in self.spans if not s.finished]
+        self.instants = []
 
     # ------------------------------------------------------------------
     def _open(self, name: str, track: str, at: float,
@@ -297,14 +344,18 @@ class Tracer:
     def to_chrome_trace(self, pid: int = 1) -> Dict[str, object]:
         """The Chrome ``trace_event`` format (``chrome://tracing``).
 
-        One complete ("X") event per finished span — timestamps in
+        One complete ("X") event per finished span and one instant
+        ("i", global scope) event per marker — timestamps in
         microseconds, one ``tid`` per track, thread-name metadata events
-        labelling each track.  Events are sorted by start time within
-        each track, so ``ts`` is monotonically non-decreasing per track.
+        labelling each track.  Span events are sorted by start time
+        within each track, so ``ts`` is monotonically non-decreasing per
+        track.
         """
         tids: Dict[str, int] = {}
         for span in self.finished_spans():
             tids.setdefault(span.track, len(tids))
+        for event in self.instants:
+            tids.setdefault(event.track, len(tids))
         events: List[Dict[str, object]] = [
             {
                 "ph": "M",
@@ -330,6 +381,21 @@ class Tracer:
                     "ts": span.start_s * 1e6,
                     "dur": span.duration_s * 1e6,
                     "args": dict(span.attrs, span_id=span.span_id),
+                }
+            )
+        for event in sorted(
+            self.instants, key=lambda e: (tids[e.track], e.at_s)
+        ):
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "g",
+                    "name": event.name,
+                    "cat": event.track,
+                    "pid": pid,
+                    "tid": tids[event.track],
+                    "ts": event.at_s * 1e6,
+                    "args": dict(event.attrs),
                 }
             )
         return {"traceEvents": events, "displayTimeUnit": "ms"}

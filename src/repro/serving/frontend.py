@@ -26,10 +26,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.metrics import PercentileTracker
 from repro.errors import OverloadError, ReplicationError
 from repro.mint.cluster import MintCluster, storage_key
 from repro.mint.group import NodeGroup
+from repro.obs.hist import LogHistogram
 from repro.simulation.kernel import Simulator
 
 
@@ -52,9 +52,13 @@ class ServingConfig:
     max_queue_depth_per_replica: int = 32
     #: p99 latency target for admitted reads (simulated seconds)
     slo_p99_s: float = 0.050
-    #: reservoir size for streaming latency percentiles (bounded memory
-    #: over month-long workloads); ``None`` keeps every sample exact
-    latency_samples: Optional[int] = 4096
+    #: latency histogram floor — samples at or below read back as this
+    latency_min_s: float = 1e-6
+    #: latency histogram ceiling — samples at or above read back as this
+    latency_max_s: float = 100.0
+    #: per-bucket growth factor; bounds relative percentile error at
+    #: ``growth - 1`` (2%) in fixed memory over month-long workloads
+    latency_growth: float = 1.02
 
     def __post_init__(self) -> None:
         if self.coalesce_window_s < 0:
@@ -106,10 +110,16 @@ class ServingFrontend:
         self.errors: Dict[str, int] = {dc: 0 for dc in clusters}
         self.batches: Dict[str, int] = {dc: 0 for dc in clusters}
         self.batched_keys: Dict[str, int] = {dc: 0 for dc in clusters}
-        self.latency: Dict[str, PercentileTracker] = {
-            dc: PercentileTracker(max_samples=self.config.latency_samples)
-            for dc in clusters
+        self.latency: Dict[str, LogHistogram] = {
+            dc: self._new_histogram() for dc in clusters
         }
+
+    def _new_histogram(self) -> LogHistogram:
+        return LogHistogram(
+            min_value=self.config.latency_min_s,
+            max_value=self.config.latency_max_s,
+            growth=self.config.latency_growth,
+        )
 
     # ------------------------------------------------------------------
     def _bucket(self, dc: str, group: NodeGroup) -> _Bucket:
@@ -305,10 +315,15 @@ class ServingFrontend:
             if quantiles:
                 worst_p99 = max(worst_p99, quantiles["p99"])
         offered = fleet["requests"]
+        # Per-DC histograms share one geometry, so the fleet latency
+        # distribution is an exact bucket-wise merge — no sample
+        # shipping, no approximation beyond the buckets themselves.
+        merged = LogHistogram.merged(self.latency.values())
         return {
             "per_dc": per_dc,
             "fleet": dict(
                 fleet,
+                latency=merged.quantiles() if len(merged) else {},
                 shed_rate=(fleet["shed"] / offered) if offered else 0.0,
                 p99_s=worst_p99,
                 slo_p99_s=self.config.slo_p99_s,

@@ -43,12 +43,24 @@ class ChaosConfig:
     #: availability probe cadence (simulated seconds between reads)
     probe_interval_s: float = 0.25
     probe_seed: int = 17
+    #: arm the telemetry plane: a metrics recorder + alert engine run
+    #: alongside the faults and the report gains ``alerts`` /
+    #: ``detection`` / ``health`` sections.  Off by default so a bare
+    #: chaos run stays byte-identical to the pinned equivalence digests.
+    telemetry: bool = False
+    #: telemetry sampling cadence — bounds detection latency
+    sample_interval_s: float = 0.25
+    #: burn-rate alert windows (fast catches, slow suppresses blips)
+    fast_window_s: float = 1.0
+    slow_window_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.cycles < 2:
             raise ConfigError("need at least bootstrap + one faulted cycle")
         if self.probe_interval_s <= 0:
             raise ConfigError("probe interval must be positive")
+        if self.sample_interval_s <= 0:
+            raise ConfigError("sample interval must be positive")
 
 
 @dataclass
@@ -58,6 +70,9 @@ class ChaosRunResult:
     data: Dict[str, object]
     system: object = field(repr=False, default=None)
     injector: Optional[FaultInjector] = field(repr=False, default=None)
+    #: set when the run had ``telemetry=True``
+    recorder: object = field(repr=False, default=None)
+    engine: object = field(repr=False, default=None)
 
 
 def build_chaos_system(tracing: bool = True):
@@ -180,6 +195,32 @@ def run_chaos(
     # extra processes touch the fleet at all.
     if plan.events:
         sim.process(probe())
+
+    recorder = None
+    engine = None
+    if config.telemetry:
+        from repro.obs.health import (
+            HealthEngine,
+            default_burn_rules,
+            health_scores,
+            join_detections,
+        )
+        from repro.obs.timeseries import RecorderConfig, TimeSeriesRecorder
+
+        recorder = TimeSeriesRecorder(
+            sim,
+            system.metrics,
+            RecorderConfig(interval_s=config.sample_interval_s),
+        )
+        engine = HealthEngine(
+            recorder,
+            burn_rules=default_burn_rules(
+                config.fast_window_s, config.slow_window_s
+            ),
+            tracer=system.tracer,
+        )
+        recorder.start()
+
     injector.start(plan)
 
     faulted_reports = [
@@ -194,6 +235,11 @@ def run_chaos(
     if pending:
         sim.run(until=sim.all_of(pending))
     probe_stop["flag"] = True
+    if recorder is not None:
+        # One closing sample so the final fleet state (everything healed)
+        # lands in the ring and still-open alerts get a chance to resolve.
+        recorder.stop()
+        recorder.sample_now()
 
     lost_acknowledged = 0
     verified_keys = 0
@@ -258,7 +304,30 @@ def run_chaos(
         "lost_acknowledged_keys": lost_acknowledged,
         "under_replicated_final": under_replicated_final,
     }
-    return ChaosRunResult(data=data, system=system, injector=injector)
+    if engine is not None:
+        data["alerts"] = engine.to_dicts()
+        # One sampling interval of grace past each heal: an alert for a
+        # fault healed between two samples fires at the *next* sample.
+        data["detection"] = join_detections(
+            injector.timeline,
+            engine.alerts,
+            grace_s=config.sample_interval_s,
+        )
+        data["health"] = health_scores(recorder.samples[-1][1])
+        data["telemetry"] = {
+            "samples": recorder.sample_count,
+            "sample_interval_s": config.sample_interval_s,
+            "evaluations": engine.evaluations,
+            "fast_window_s": config.fast_window_s,
+            "slow_window_s": config.slow_window_s,
+        }
+    return ChaosRunResult(
+        data=data,
+        system=system,
+        injector=injector,
+        recorder=recorder,
+        engine=engine,
+    )
 
 
 def run_plain_cycles(cycles: int, mutation_rate: float) -> object:

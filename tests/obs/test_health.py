@@ -1,0 +1,259 @@
+"""Unit tests for health scoring, alert rules, and detection joins."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    BurnRateRule,
+    GaugeRule,
+    HealthEngine,
+    MetricsRegistry,
+    RecorderConfig,
+    TimeSeriesRecorder,
+    Tracer,
+    health_scores,
+    join_detections,
+)
+from repro.obs.health import AlertEvent
+from repro.simulation.kernel import Simulator
+
+
+def _recorder(sim, registry, interval=0.25):
+    return TimeSeriesRecorder(
+        sim, registry, RecorderConfig(interval_s=interval)
+    )
+
+
+def test_gauge_rule_fires_and_resolves_edge_triggered():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    state = {"up": 1.0}
+    registry.register("mint.dc1.g0.n0.up", lambda: state["up"])
+    recorder = _recorder(sim, registry)
+    engine = HealthEngine(recorder, burn_rules=())
+    recorder.start()
+
+    def script():
+        yield sim.timeout(1.0)
+        state["up"] = 0.0
+        yield sim.timeout(1.0)
+        state["up"] = 1.0
+
+    sim.process(script())
+    sim.run(until=3.0)
+    assert len(engine.alerts) == 1  # edge-triggered: one event, not per-sample
+    alert = engine.alerts[0]
+    assert alert.name == "node_down"
+    assert alert.target == "dc1.g0.n0"
+    assert alert.at_s == 1.0  # sample boundary coincides with the failure
+    assert alert.resolved_at_s == 2.0
+    assert not alert.active
+    assert alert.duration_s == pytest.approx(1.0)
+    assert engine.active_alerts() == []
+
+
+def test_gauge_rule_validation():
+    with pytest.raises(ConfigError):
+        GaugeRule(name="bad", prefix="x.", suffix=".y")
+    with pytest.raises(ConfigError):
+        GaugeRule(
+            name="bad", prefix="x.", suffix=".y",
+            fire_below=1.0, fire_above=0.0,
+        )
+
+
+def test_burn_rule_needs_both_windows_over_threshold():
+    """The slow window suppresses a blip the fast window alone would page."""
+    sim = Simulator()
+    registry = MetricsRegistry()
+    state = {"bad": 0.0, "total": 0.0}
+    registry.register("slo.bad", lambda: state["bad"])
+    registry.register("slo.total", lambda: state["total"])
+    rule = BurnRateRule(
+        name="slo_burn", bad="slo.bad", total="slo.total", budget=0.01,
+        fast_window_s=1.0, slow_window_s=5.0, fast_burn=14.0, slow_burn=6.0,
+    )
+    recorder = _recorder(sim, registry)
+    engine = HealthEngine(recorder, gauge_rules=(), burn_rules=(rule,))
+    recorder.start()
+
+    def traffic():
+        # steady probes; one 100%-bad second starting at t=6 (after the
+        # slow window has real history), healthy before and after
+        while True:
+            state["total"] += 10.0
+            if 6.0 <= sim.now < 7.0:
+                state["bad"] += 10.0
+            yield sim.timeout(0.25)
+
+    sim.process(traffic())
+    sim.run(until=6.9)
+    # fast window is fully bad (burn 100x) but the slow window hasn't
+    # crossed 6x yet at the first bad samples — check it eventually fires
+    sim.run(until=12.0)
+    fired = [a for a in engine.alerts if a.name == "slo_burn"]
+    assert len(fired) == 1
+    alert = fired[0]
+    assert 6.0 <= alert.at_s <= 7.5  # detected during/just after the burn
+    assert alert.resolved_at_s is not None  # fast window cleared afterwards
+
+
+def test_burn_rule_rate_mode_absolute_budget():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    state = {"retx": 0.0}
+    registry.register("faults.retransmits", lambda: state["retx"])
+    rule = BurnRateRule(
+        name="retransmit_storm", bad="faults.retransmits", total=None,
+        budget=0.1, fast_window_s=1.0, slow_window_s=2.0,
+        fast_burn=5.0, slow_burn=2.0,
+    )
+    recorder = _recorder(sim, registry)
+    engine = HealthEngine(recorder, gauge_rules=(), burn_rules=(rule,))
+    recorder.start()
+
+    def storm():
+        while True:
+            if sim.now >= 3.0:
+                state["retx"] += 1.0  # 4/s >> 0.1/s budget
+            yield sim.timeout(0.25)
+
+    sim.process(storm())
+    sim.run(until=8.0)
+    assert any(a.name == "retransmit_storm" for a in engine.alerts)
+
+
+def test_burn_rule_validation():
+    with pytest.raises(ConfigError):
+        BurnRateRule(name="x", bad="b", budget=0.0)
+    with pytest.raises(ConfigError):
+        BurnRateRule(name="x", bad="b", fast_window_s=5.0, slow_window_s=1.0)
+
+
+def test_alerts_emit_tracer_instants():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    state = {"up": 0.0}
+    registry.register("mint.dc1.g0.n0.up", lambda: state["up"])
+    tracer = Tracer(sim)
+    recorder = _recorder(sim, registry)
+    engine = HealthEngine(recorder, burn_rules=(), tracer=tracer)
+    recorder.start()
+
+    def heal():
+        yield sim.timeout(1.0)
+        state["up"] = 1.0
+
+    sim.process(heal())
+    sim.run(until=2.0)
+    names = [i.name for i in tracer.instants]
+    assert "alert:node_down" in names
+    assert "resolve:node_down" in names
+    assert all(i.track == "alerts" for i in tracer.instants)
+    assert engine.evaluations == recorder.sample_count
+
+
+def test_health_scores_groups_and_fleet_floor():
+    values = {
+        "mint.dc1.g0.n0.up": 1.0,
+        "mint.dc1.g0.n1.up": 0.0,
+        "mint.dc1.g0.group.healthy": 2.0,
+        "mint.dc1.g0.group.nodes": 3.0,
+        "mint.dc1.g0.group.parked_writes": 1.0,
+        "mint.dc1.g0.group.repair_backlog": 0.0,
+        "mint.dc2.g0.group.healthy": 3.0,
+        "mint.dc2.g0.group.nodes": 3.0,
+        "bifrost.link.a-b.partitioned": 1.0,
+        "bifrost.link.b-a.partitioned": 0.0,
+    }
+    scores = health_scores(values)
+    assert scores["nodes"]["dc1.g0.n0"] == 1.0
+    assert scores["nodes"]["dc1.g0.n1"] == 0.0
+    # 2/3 live minus 0.2 parked-writes penalty
+    assert scores["groups"]["dc1.g0"] == pytest.approx(2.0 / 3.0 - 0.2)
+    assert scores["groups"]["dc2.g0"] == 1.0
+    assert scores["links"]["a-b"] == 0.0
+    assert scores["fleet_score"] == 0.0  # availability-limited by the worst
+
+
+def test_health_scores_empty_sample():
+    scores = health_scores({})
+    assert scores["fleet_score"] == 1.0
+
+
+def test_join_detections_matching_and_mttd():
+    timeline = [
+        {
+            "index": 0, "kind": "crash", "target": "dc1/g0/n0",
+            "injected_at": 10.0, "healed_at": 14.0, "repaired_at": 14.5,
+        },
+        {
+            "index": 1, "kind": "partition", "target": "a-b",
+            "injected_at": 20.0, "healed_at": 25.0, "repaired_at": None,
+        },
+        {   # scheduled but never applied: skipped entirely
+            "index": 2, "kind": "crash", "target": "dc1/g0/n1",
+            "injected_at": None, "healed_at": None, "repaired_at": None,
+        },
+    ]
+    alerts = [
+        AlertEvent(
+            at_s=10.25, name="node_down", target="dc1.g0.n0",
+            severity="page", value=0.0, threshold=0.5,
+        ),
+        AlertEvent(
+            at_s=20.5, name="link_partition", target="a-b",
+            severity="page", value=1.0, threshold=0.5,
+        ),
+        AlertEvent(  # earlier alert for a different target: not a match
+            at_s=10.0, name="node_down", target="dc9.g0.n0",
+            severity="page", value=0.0, threshold=0.5,
+        ),
+    ]
+    result = join_detections(timeline, alerts, grace_s=0.25)
+    assert result["injected"] == 2
+    assert result["detected"] == 2
+    assert result["undetected_required"] == 0
+    crash, partition = result["faults"]
+    assert crash["detected_by"] == "node_down"
+    assert crash["mttd_s"] == pytest.approx(0.25)
+    assert crash["mttr_s"] == pytest.approx(4.5)
+    assert partition["mttd_s"] == pytest.approx(0.5)
+    assert partition["mttr_s"] == pytest.approx(5.0)  # falls back to heal
+    assert result["mttd"]["mean_s"] == pytest.approx((0.25 + 0.5) / 2)
+    assert result["mttd"]["max_s"] == pytest.approx(0.5)
+
+
+def test_join_detections_counts_required_misses():
+    timeline = [
+        {
+            "index": 0, "kind": "crash", "target": "dc1/g0/n0",
+            "injected_at": 10.0, "healed_at": 14.0, "repaired_at": 14.0,
+        },
+        {   # detection of corruption bursts is best-effort, not required
+            "index": 1, "kind": "corrupt", "target": "transport",
+            "injected_at": 20.0, "healed_at": 21.0, "repaired_at": None,
+        },
+    ]
+    result = join_detections(timeline, [], grace_s=0.0)
+    assert result["detected"] == 0
+    assert result["undetected_required"] == 1
+    assert result["faults"][0]["detection_required"] is True
+    assert result["faults"][1]["detection_required"] is False
+
+
+def test_join_detections_respects_heal_deadline():
+    """An alert long after the fault healed cannot claim it."""
+    timeline = [
+        {
+            "index": 0, "kind": "crash", "target": "dc1/g0/n0",
+            "injected_at": 10.0, "healed_at": 12.0, "repaired_at": 12.0,
+        },
+    ]
+    late = AlertEvent(
+        at_s=50.0, name="node_down", target="dc1.g0.n0",
+        severity="page", value=0.0, threshold=0.5,
+    )
+    result = join_detections(timeline, [late], grace_s=0.25)
+    assert result["detected"] == 0
+    assert result["undetected_required"] == 1

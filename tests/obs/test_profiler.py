@@ -1,0 +1,126 @@
+"""Unit tests for span-based resource attribution and flamegraph export."""
+
+import pytest
+
+from repro.obs import Tracer, flamegraph, profile_tracer
+
+
+def _manual_tracer():
+    """A tracer on a hand-cranked clock for exact span durations."""
+    box = {"now": 0.0}
+    tracer = Tracer(lambda: box["now"])
+    return tracer, box
+
+
+def _nested_trace():
+    """cycle(0..10) -> build(0..6) -> sort(1..3); build moves 100 bytes."""
+    tracer, box = _manual_tracer()
+    with tracer.span("cycle"):
+        with tracer.span("build", bytes=100):
+            box["now"] = 1.0
+            with tracer.span("sort"):
+                box["now"] = 3.0
+            box["now"] = 6.0
+        box["now"] = 10.0
+    return tracer
+
+
+def test_self_time_subtracts_direct_children():
+    profile = profile_tracer(_nested_trace())
+    rows = {row["operation"]: row for row in profile["stages"]}
+    assert rows["cycle"]["total_s"] == pytest.approx(10.0)
+    assert rows["cycle"]["self_s"] == pytest.approx(4.0)  # minus build
+    assert rows["build"]["total_s"] == pytest.approx(6.0)
+    assert rows["build"]["self_s"] == pytest.approx(4.0)  # minus sort
+    assert rows["sort"]["self_s"] == pytest.approx(2.0)
+    assert profile["span_count"] == 3
+    assert profile["bytes_moved"] == 100.0
+    assert rows["build"]["bytes"] == 100.0
+    # stages ordered by total time: the root comes first
+    assert profile["stages"][0]["operation"] == "cycle"
+
+
+def test_foreign_clock_tracks_count_as_device_time():
+    tracer, box = _manual_tracer()
+    device = {"now": 100.0}
+    ssd = tracer.track("ssd.n0", clock=lambda: device["now"])
+    with tracer.span("cycle"):
+        with ssd.span("gc", bytes_copied=64):
+            device["now"] = 103.0
+        box["now"] = 2.0
+    profile = profile_tracer(tracer)
+    rows = {row["operation"]: row for row in profile["stages"]}
+    # device spans never pollute simulated-time totals
+    assert rows["gc"]["total_s"] == 0.0
+    assert rows["gc"]["device_s"] == pytest.approx(3.0)
+    assert rows["cycle"]["self_s"] == pytest.approx(2.0)  # gc not a child cost
+    assert profile["device_busy_s"] == pytest.approx(3.0)
+    assert profile["bytes_moved"] == 64.0
+
+
+def test_top_k_caps_hot_op_list():
+    tracer, box = _manual_tracer()
+    for index in range(5):
+        with tracer.span(f"op{index}"):
+            box["now"] += float(index + 1)
+    profile = profile_tracer(tracer, top_k=2)
+    assert profile["top_ops"] == ["op4", "op3"]  # hottest self time first
+
+
+def test_flamegraph_folds_same_name_siblings():
+    """Two ``build`` frames under one cycle collapse into one node."""
+    tracer, box = _manual_tracer()
+    with tracer.span("cycle"):
+        for _repeat in range(2):
+            with tracer.span("build"):
+                with tracer.span("write"):
+                    box["now"] += 1.0
+                box["now"] += 1.0
+    graph = flamegraph(tracer)
+    assert graph["name"] == "trace"
+    assert graph["count"] == 5
+    (cycle,) = graph["children"]
+    assert cycle["name"] == "cycle"
+    (build,) = cycle["children"]
+    assert build["name"] == "build"
+    assert build["count"] == 2
+    assert build["value"] == pytest.approx(4.0)
+    # the merged build frame folds BOTH writes into one grandchild
+    (write,) = build["children"]
+    assert write["count"] == 2
+    assert write["value"] == pytest.approx(2.0)
+    assert write["children"] == []
+
+
+def test_flamegraph_excludes_foreign_clock_tracks():
+    tracer, box = _manual_tracer()
+    device = {"now": 50.0}
+    ssd = tracer.track("ssd.n0", clock=lambda: device["now"])
+    with tracer.span("cycle"):
+        box["now"] = 1.0
+    with ssd.span("gc"):
+        device["now"] = 55.0
+    graph = flamegraph(tracer)
+    assert [child["name"] for child in graph["children"]] == ["cycle"]
+    assert graph["value"] == pytest.approx(1.0)
+
+
+def test_flamegraph_orphan_parent_promotes_to_root():
+    """A span whose parent never finished still shows up at the root."""
+    tracer, box = _manual_tracer()
+    outer = tracer.span("never_closed")
+    outer.__enter__()
+    with tracer.span("inner"):
+        box["now"] = 2.0
+    graph = flamegraph(tracer)  # outer is unfinished: unknown parent
+    assert [child["name"] for child in graph["children"]] == ["inner"]
+
+
+def test_empty_tracer_profiles_cleanly():
+    tracer, _box = _manual_tracer()
+    profile = profile_tracer(tracer)
+    assert profile["span_count"] == 0
+    assert profile["stages"] == []
+    graph = flamegraph(tracer)
+    assert graph["children"] == []
+    assert graph["value"] == 0.0

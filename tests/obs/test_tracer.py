@@ -186,3 +186,48 @@ def test_stage_summary_uses_most_recent_root():
     rows = {row["stage"]: row for row in tracer.stage_summary()}
     assert rows["build"]["total_s"] == pytest.approx(5.0)
     assert tracer.stage_summary(root_name="nonexistent") == []
+
+
+def test_instants_recorded_and_exported():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    with tracer.span("cycle"):
+        clock.now = 1.0
+        tracer.instant("fault_injected:crash", track="faults", node="n0")
+        clock.now = 3.0
+    tracer.instant("alert:node_down", track="alerts", at=1.25)
+    assert [i.name for i in tracer.instants] == [
+        "fault_injected:crash",
+        "alert:node_down",
+    ]
+    assert tracer.instants[0].at_s == 1.0  # defaults to the tracer clock
+    assert tracer.instants[1].at_s == 1.25  # explicit timestamp wins
+    assert tracer.instants[0].attrs == {"node": "n0"}
+    trace = tracer.to_chrome_trace()
+    instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+    assert len(instants) == 2
+    assert all(e["s"] == "g" for e in instants)  # global scope markers
+    alert = next(e for e in instants if e["name"] == "alert:node_down")
+    assert alert["ts"] == pytest.approx(1.25e6)
+    # instant-only tracks still get a tid and a thread_name metadata row
+    tids = {
+        e["args"]["name"]: e["tid"]
+        for e in trace["traceEvents"]
+        if e["ph"] == "M"
+    }
+    assert {"faults", "alerts"} <= set(tids)
+    assert alert["tid"] == tids["alerts"]
+    json.dumps(trace)  # serializable end to end
+
+
+def test_disabled_tracer_records_no_instants():
+    tracer = Tracer(FakeClock(), enabled=False)
+    assert tracer.instant("alert:x") is None
+    assert tracer.instants == []
+
+
+def test_clear_drops_instants():
+    tracer = Tracer(FakeClock())
+    tracer.instant("alert:x")
+    tracer.clear()
+    assert tracer.instants == []

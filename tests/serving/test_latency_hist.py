@@ -1,0 +1,103 @@
+"""Frontend SLO path on the mergeable histogram: agreement with exact.
+
+The serving frontend replaced its reservoir-sampled ``PercentileTracker``
+with the log-bucketed :class:`LogHistogram`.  The contract: for the real
+latency samples a serving run produces, the histogram's p50/p99 agree
+with the exact nearest-rank percentiles to within one bucket width
+(``exact <= reported <= exact * growth``), and per-DC histograms merge
+into a fleet view identical to pooling the raw samples.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.mint.cluster import MintCluster, MintConfig
+from repro.obs.hist import LogHistogram
+from repro.serving import ServingConfig, ServingFrontend
+from repro.simulation.kernel import Simulator
+
+
+def _exact_percentile(samples, p):
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered) - 1e-9))
+    return ordered[rank - 1]
+
+
+def _serve_and_record(request_count=400):
+    """Run real reads through the frontend, recording the exact samples."""
+    sim = Simulator()
+    cluster = MintCluster(
+        "dc0",
+        MintConfig(
+            group_count=2, nodes_per_group=3, replica_count=3,
+            node_capacity_bytes=64 * 1024 * 1024,
+        ),
+    )
+    keys = []
+    for index in range(50):
+        key = f"doc-{index:04d}".encode()
+        cluster.put(key, 1, b"payload-" * 32)
+        keys.append(key)
+    frontend = ServingFrontend(sim, {"dc0": cluster})
+    exact = []
+    rng = random.Random(11)
+
+    def client(key, delay):
+        yield sim.timeout(delay)
+        start = sim.now
+        event = frontend.try_submit("dc0", key, 1)
+        yield event
+        exact.append(sim.now - start)
+
+    for _ in range(request_count):
+        sim.process(client(rng.choice(keys), rng.random() * 5.0))
+    sim.run(until=60.0)
+    frontend.drain()
+    return frontend, exact
+
+
+def test_histogram_percentiles_track_exact_within_one_bucket():
+    frontend, exact = _serve_and_record()
+    hist = frontend.latency["dc0"]
+    assert len(hist) == len(exact) > 0
+    growth = hist.growth
+    for p in (50.0, 99.0):
+        truth = _exact_percentile(exact, p)
+        reported = hist.percentile(p)
+        assert truth <= reported <= truth * growth
+    assert hist.mean == pytest.approx(sum(exact) / len(exact))
+
+
+def test_report_exposes_fleet_latency_quantiles():
+    frontend, exact = _serve_and_record(request_count=200)
+    report = frontend.report()
+    fleet = report["fleet"]["latency"]
+    assert set(fleet) == {"mean", "p50", "p99", "p999", "count"}
+    assert fleet["count"] == float(len(exact))
+    assert fleet["p50"] <= fleet["p99"] <= fleet["p999"]
+    truth = _exact_percentile(exact, 99.0)
+    assert truth <= fleet["p99"] <= truth * frontend.latency["dc0"].growth
+
+
+def test_per_dc_histograms_merge_like_pooled_samples():
+    """Fleet aggregation across replicas is bucket-exact, not approximate."""
+    config = ServingConfig()
+    samples_a = [0.001 * (1.05 ** i) for i in range(200)]
+    samples_b = [0.0005 * (1.04 ** i) for i in range(300)]
+    a = LogHistogram(config.latency_min_s, config.latency_max_s,
+                     config.latency_growth)
+    b = LogHistogram(config.latency_min_s, config.latency_max_s,
+                     config.latency_growth)
+    pooled = LogHistogram(config.latency_min_s, config.latency_max_s,
+                          config.latency_growth)
+    a.extend(samples_a)
+    b.extend(samples_b)
+    pooled.extend(samples_a + samples_b)
+    merged = LogHistogram.merged([a, b])
+    for p in (50.0, 90.0, 99.0):
+        assert merged.percentile(p) == pooled.percentile(p)
+    assert merged.mean == pytest.approx(pooled.mean)

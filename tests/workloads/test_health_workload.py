@@ -1,0 +1,158 @@
+"""The health workload's contract: seeded chaos plans produce
+deterministic detection with zero required faults missed, and the
+``repro health`` CLI exposes the full report schema."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.health import HealthConfig, run_health, watch_timeline
+
+
+@pytest.fixture(scope="module")
+def crash_health():
+    return run_health(HealthConfig(plan="single-node-crash", cycles=2))
+
+
+@pytest.fixture(scope="module")
+def outage_health():
+    return run_health(HealthConfig(plan="group-outage", cycles=2))
+
+
+def test_crash_is_detected_with_bounded_mttd(crash_health):
+    detection = crash_health.data["detection"]
+    assert detection["injected"] == 1
+    assert detection["detected"] == 1
+    assert detection["undetected_required"] == 0
+    (fault,) = detection["faults"]
+    assert fault["kind"] == "crash"
+    assert fault["detected_by"] == "node_down"
+    # detection latency is bounded by the sampling interval
+    assert 0.0 <= fault["mttd_s"] <= 0.25
+    assert fault["mttr_s"] is not None and fault["mttr_s"] > 0.0
+    assert crash_health.data["lost_acknowledged_keys"] == 0
+
+
+def test_outage_is_detected(outage_health):
+    detection = outage_health.data["detection"]
+    assert detection["undetected_required"] == 0
+    kinds = {row["kind"] for row in detection["faults"]}
+    assert "outage" in kinds
+    for row in detection["faults"]:
+        if row["kind"] == "outage":
+            assert row["mttd_s"] <= 0.25
+
+
+def test_alert_fire_times_are_sim_stamped(crash_health):
+    alerts = crash_health.data["alerts"]
+    assert alerts, "the crash must fire at least one alert"
+    node_down = next(a for a in alerts if a["name"] == "node_down")
+    # the engine samples every 0.25s, so the alert lands on the first
+    # boundary at or after the injection instant
+    (fault,) = crash_health.data["detection"]["faults"]
+    injected = fault["injected_at_s"]
+    assert injected <= node_down["at_s"] <= injected + 0.25
+    assert node_down["target"] == "north-dc1.g0.n0"
+    assert node_down["resolved_at_s"] is not None
+
+
+def test_detection_is_deterministic_across_runs(crash_health):
+    again = run_health(HealthConfig(plan="single-node-crash", cycles=2))
+    assert again.data["detection"] == crash_health.data["detection"]
+    assert again.data["alerts"] == crash_health.data["alerts"]
+    assert again.data["health"] == crash_health.data["health"]
+
+
+def test_report_carries_profile_and_watch(crash_health):
+    data = crash_health.data
+    profile = data["profile"]
+    assert profile["span_count"] > 0
+    assert profile["stages"] and profile["top_ops"]
+    watch = data["watch"]
+    # telemetry arms after the bootstrap cycles; rows advance in time
+    ats = [row["at_s"] for row in watch]
+    assert ats == sorted(ats) and len(ats) >= 2
+    assert all(0.0 <= row["fleet_score"] <= 1.0 for row in watch)
+    # the crash is visible in the timeline: the score dips, and the
+    # closing sample (after the drain) shows a recovered fleet
+    assert min(row["fleet_score"] for row in watch) < 1.0
+    assert data["health"]["fleet_score"] == 1.0
+    assert "flamegraph" not in data  # opt-in, large
+
+
+def test_flamegraph_included_on_request():
+    result = run_health(
+        HealthConfig(plan="none", cycles=2, include_flamegraph=True)
+    )
+    graph = result.data["flamegraph"]
+    assert graph["name"] == "trace"
+    assert graph["children"]
+
+
+def test_watch_timeline_respects_interval(crash_health):
+    rows = watch_timeline(
+        crash_health.chaos.recorder,
+        crash_health.chaos.engine.alerts,
+        interval_s=1.0,
+    )
+    ats = [row["at_s"] for row in rows]
+    assert all(b - a >= 1.0 for a, b in zip(ats, ats[1:]))
+
+
+def test_cli_health_json_schema(capsys):
+    assert main(
+        ["health", "--plan", "single-node-crash", "--cycles", "2", "--json"]
+    ) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert {
+        "plan", "alerts", "detection", "health", "telemetry", "profile",
+        "watch", "availability", "lost_acknowledged_keys",
+    } <= set(data)
+    detection = data["detection"]
+    assert {"faults", "injected", "detected", "undetected_required",
+            "mttd", "mttr"} <= set(detection)
+    assert detection["undetected_required"] == 0
+    assert {"count", "mean_s", "max_s"} <= set(detection["mttd"])
+    assert data["health"]["fleet_score"] == 1.0  # recovered by run end
+    assert data["profile"]["span_count"] > 0
+
+
+def test_cli_health_renders_tables(capsys, tmp_path):
+    trace_path = tmp_path / "health-trace.json"
+    assert main(
+        [
+            "health", "--plan", "single-node-crash", "--cycles", "2",
+            "--trace-out", str(trace_path),
+        ]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "detected by" in output and "node_down" in output
+    assert "fleet score" in output
+    assert "spans" in output
+    trace = json.loads(trace_path.read_text())
+    phases = {event["ph"] for event in trace["traceEvents"]}
+    assert "i" in phases  # alert/fault instants land in the trace
+    instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+    names = {event["name"] for event in instants}
+    assert any(name.startswith("fault_injected:") for name in names)
+    assert any(name.startswith("alert:") for name in names)
+
+
+def test_cli_chaos_gains_detection_summary(capsys):
+    assert main(
+        ["chaos", "--plan", "single-node-crash", "--cycles", "2", "--json"]
+    ) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["detection"]["undetected_required"] == 0
+    assert data["alerts"]
+    # and telemetry stays strictly opt-out-able
+    capsys.readouterr()
+    assert main(
+        [
+            "chaos", "--plan", "single-node-crash", "--cycles", "2",
+            "--no-telemetry", "--json",
+        ]
+    ) == 0
+    bare = json.loads(capsys.readouterr().out)
+    assert "detection" not in bare
