@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 from repro.bifrost.signature import checksum
 from repro.errors import ChecksumMismatchError, ConfigError
@@ -81,7 +81,15 @@ class Slice:
     #: simulated time the slice becomes available at the build DC
     available_at: float = 0.0
     is_delta: bool = False
+    #: compressed wire stream (:mod:`repro.bifrost.encoding`); when set,
+    #: *this* is what travels — size accounting, the CRC, and corruption
+    #: all apply to the wire bytes, and ingestion decodes back to the
+    #: logical entries
+    wire: Optional[bytes] = None
     _corrupted: bool = field(default=False, repr=False)
+    #: (payload, wire) as they were before :meth:`corrupt` flipped bytes,
+    #: so :meth:`clean_copy` retransmits the pristine representation
+    _pristine: Optional[tuple] = field(default=None, repr=False)
 
     @classmethod
     def pack(
@@ -143,30 +151,73 @@ class Slice:
         return deserialize_delta_entries(self.payload)
 
     @property
+    def payload_bytes(self) -> int:
+        """Logical serialized size — what ingestion must reproduce."""
+        return len(self.payload)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes that actually travel (compressed stream when encoded)."""
+        return len(self.payload) if self.wire is None else len(self.wire)
+
+    @property
     def size_bytes(self) -> int:
-        """Wire size of the slice."""
-        return len(self.payload) + 64  # slice header + checksum framing
+        """Wire size of the slice, as the transport charges it."""
+        return self.wire_bytes + 64  # slice header + checksum framing
 
     def verify(self) -> None:
-        """Recompute the checksum; raises on mismatch (a relay's job)."""
-        if self._corrupted or checksum(self.payload) != self.crc:
+        """Recompute the checksum; raises on mismatch (a relay's job).
+
+        The CRC covers whatever representation travels: the compressed
+        wire stream when one is attached, the raw payload otherwise —
+        so a wire-encoded slice damaged in flight is caught *before*
+        decompression ever runs.
+        """
+        data = self.payload if self.wire is None else self.wire
+        if self._corrupted or checksum(data) != self.crc:
             raise ChecksumMismatchError(f"slice {self.slice_id} failed its CRC")
 
     def corrupt(self) -> None:
-        """Failure injection: the payload was damaged in transit."""
+        """Failure injection: the transported bytes were damaged.
+
+        Flips a real byte in the travelling representation (the wire
+        stream when encoded, else the payload).  The pristine bytes are
+        remembered, so ``clean_copy`` still produces pristine
+        retransmissions.
+        """
+        if self._pristine is None:
+            self._pristine = (self.payload, self.wire)
+        data = self.payload if self.wire is None else self.wire
+        if data:
+            middle = len(data) // 2
+            damaged = (
+                data[:middle]
+                + bytes([data[middle] ^ 0xFF])
+                + data[middle + 1 :]
+            )
+            if self.wire is None:
+                self.payload = damaged
+            else:
+                self.wire = damaged
         self._corrupted = True
 
     def clean_copy(self) -> "Slice":
         """A pristine retransmission of this slice from the source."""
+        payload, wire = (
+            (self.payload, self.wire)
+            if self._pristine is None
+            else self._pristine
+        )
         return Slice(
             slice_id=self.slice_id,
             version=self.version,
             kind=self.kind,
             entries=self.entries,
-            payload=self.payload,
+            payload=payload,
             crc=self.crc,
             available_at=self.available_at,
             is_delta=self.is_delta,
+            wire=wire,
         )
 
 

@@ -105,6 +105,9 @@ class DeliveryReport:
     bytes_sent: int = 0
     #: bytes that left the *origin* data center (the P2P saving shows here)
     origin_bytes_sent: int = 0
+    #: logical (uncompressed) bytes behind ``bytes_sent`` — with wire
+    #: encoding off the two are equal; the gap is the compression saving
+    payload_bytes_sent: int = 0
     detoured: int = 0
     late_threshold_s: float = 3600.0
     #: the spawned delivery processes (populated by ``run=False`` calls so
@@ -171,6 +174,8 @@ class BifrostTransport:
         self.total_retransmissions = 0
         self.total_abandoned = 0
         self.total_relay_failovers = 0
+        self.total_wire_bytes_sent = 0
+        self.total_payload_bytes_sent = 0
 
     def _span(self, name: str, track: str, parent=None, **attrs):
         """A span on ``track``, or a no-op when tracing is off."""
@@ -192,8 +197,20 @@ class BifrostTransport:
                 "retransmissions": lambda: self.total_retransmissions,
                 "abandoned": lambda: self.total_abandoned,
                 "relay_failovers": lambda: self.total_relay_failovers,
+                "wire_bytes_sent": lambda: self.total_wire_bytes_sent,
+                "payload_bytes_sent": lambda: self.total_payload_bytes_sent,
             },
         )
+
+    def _account_bytes(self, report: DeliveryReport, item) -> None:
+        """Book one hop's traffic: wire bytes (what the link carried)
+        and the logical payload bytes behind them."""
+        wire = item.size_bytes
+        logical = item.payload_bytes + 64
+        report.bytes_sent += wire
+        report.payload_bytes_sent += logical
+        self.total_wire_bytes_sent += wire
+        self.total_payload_bytes_sent += logical
 
     def corruption_probability(self) -> float:
         """Effective per-hop damage probability.
@@ -338,7 +355,7 @@ class BifrostTransport:
                                     source, destination, stream
                                 )
                                 yield sublink.transmit_delay(travelling.size_bytes)
-                                report.bytes_sent += travelling.size_bytes
+                                self._account_bytes(report, travelling)
                                 if source == ORIGIN:
                                     report.origin_bytes_sent += (
                                         travelling.size_bytes
@@ -410,7 +427,7 @@ class BifrostTransport:
                 ):
                     intra = self.topology.intra_link(region, dc)
                     yield intra.transmit_delay(travelling.size_bytes)
-                    report.bytes_sent += travelling.size_bytes
+                    self._account_bytes(report, travelling)
                     yield config.relay_processing_s
                     travelling.verify()
                     key = (dc, travelling.slice_id)
@@ -460,7 +477,7 @@ class BifrostTransport:
                         ORIGIN, seed_region, stream
                     )
                     yield sublink.transmit_delay(travelling.size_bytes)
-                    report.bytes_sent += travelling.size_bytes
+                    self._account_bytes(report, travelling)
                     report.origin_bytes_sent += travelling.size_bytes
                     if self._random.random() < self.corruption_probability():
                         travelling.corrupt()
@@ -534,7 +551,7 @@ class BifrostTransport:
                         seed_region, peer_region, stream
                     )
                     yield sublink.transmit_delay(travelling.size_bytes)
-                    report.bytes_sent += travelling.size_bytes
+                    self._account_bytes(report, travelling)
                     if self._random.random() < self.corruption_probability():
                         travelling.corrupt()
                     yield config.relay_processing_s

@@ -9,6 +9,7 @@ Usage::
     python -m repro dedup-sweep     # bandwidth saving across dup ratios
     python -m repro observe         # traced cycle: stages + metrics
     python -m repro perf --json     # kernel bench: events/sec per scenario
+    python -m repro bandwidth --json  # wire bytes: dedup x encoding arms
     python -m repro serve --json    # read-serving: batching, shedding, SLO
     python -m repro chaos --plan single-node-crash  # faults + recovery
     python -m repro health --json   # telemetry: alerts, MTTD/MTTR, profile
@@ -519,6 +520,112 @@ def _cmd_perf(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bandwidth(args) -> int:
+    from repro.workloads.bandwidth import (
+        compare_bandwidth_entries,
+        run_bandwidth,
+    )
+
+    entry = run_bandwidth(days=args.days, label=args.label)
+    failures: List[str] = []
+    if args.check:
+        with open(args.check) as handle:
+            bench = json.load(handle)
+        entries = bench.get("entries") or []
+        if args.baseline_label:
+            entries = [
+                e for e in entries if e.get("label") == args.baseline_label
+            ]
+        if not entries:
+            wanted = (
+                f" labelled {args.baseline_label!r}"
+                if args.baseline_label
+                else ""
+            )
+            failures.append(f"{args.check} has no baseline entries{wanted}")
+        else:
+            failures = compare_bandwidth_entries(
+                entry, entries[-1], min_ratio=args.min_ratio
+            )
+    if args.out:
+        try:
+            with open(args.out) as handle:
+                bench = json.load(handle)
+        except FileNotFoundError:
+            bench = {
+                "benchmark": "bandwidth",
+                "units": {
+                    "wire_reduction_ratio": (
+                        "fraction of wire bytes removed beyond dedup alone"
+                    ),
+                    "hash_ratio": (
+                        "naive over tiered full hashes during audits"
+                    ),
+                },
+                "entries": [],
+            }
+        bench["entries"].append(entry)
+        with open(args.out, "w") as handle:
+            json.dump(bench, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    data = dict(entry)
+    if args.check:
+        data["baseline"] = args.check
+        data["regressions"] = failures
+    if args.out:
+        data["out"] = args.out
+
+    def render(data: dict) -> None:
+        rows = [
+            [
+                name,
+                f"{arm['wire_bytes_sent']:,}",
+                f"{arm['payload_bytes_sent']:,}",
+                f"{arm.get('compression_ratio', 1.0):.3f}",
+                f"{arm['keys_delivered']:,}",
+            ]
+            for name, arm in data["arms"].items()
+        ]
+        print(
+            render_table(
+                ["arm", "wire bytes", "payload bytes", "wire/payload",
+                 "keys"],
+                rows,
+            )
+        )
+        print(
+            f"\nwire reduction beyond dedup: "
+            f"{data['wire_reduction_ratio'] * 100:.1f}% "
+            f"(vs raw: {data['wire_reduction_vs_raw'] * 100:.1f}%); "
+            "delivered contents "
+            + (
+                "byte-identical"
+                if data["delivered_digest_match"]
+                else "DIFFER"
+            )
+        )
+        audit = data["audit"]
+        print(
+            f"audit: tiered {audit['tiered_full_hashes']:,} full hashes "
+            f"vs naive {audit['naive_full_hashes']:,} "
+            f"({audit['hash_ratio']:.1f}x fewer), "
+            f"{audit['tiered_hashes_per_slice']:.1f} hashes/slice "
+            f"(log2 bound {audit['log2_bound_per_slice']})"
+        )
+        if "regressions" in data:
+            if data["regressions"]:
+                print(f"\nREGRESSION vs {data['baseline']}:")
+                for line in data["regressions"]:
+                    print(f"  {line}")
+            else:
+                print(f"\nno regression vs {data['baseline']}")
+        if "out" in data:
+            print(f"\nappended entry {data['label']!r} to {data['out']}")
+
+    _emit(args, data, render)
+    return 1 if failures else 0
+
+
 def _cmd_serve(args) -> int:
     from repro.serving import ServingConfig
     from repro.workloads.serving import (
@@ -639,7 +746,8 @@ def _cmd_chaos(args) -> int:
 
     result = run_chaos(
         ChaosConfig(
-            plan=args.plan, cycles=args.cycles, telemetry=args.telemetry
+            plan=args.plan, cycles=args.cycles, telemetry=args.telemetry,
+            integrity=args.integrity, wire_encoding=args.wire,
         )
     )
     data = result.data
@@ -692,6 +800,24 @@ def _cmd_chaos(args) -> int:
             f"{data['verified_keys']} acknowledged keys lost, "
             f"{data['under_replicated_final']} under-replicated"
         )
+        if "integrity" in data:
+            integrity = data["integrity"]
+            print(
+                f"integrity: {integrity['slices_audited']} slice audit(s), "
+                f"{integrity['records_sampled']} record(s) sampled, "
+                f"{integrity['full_hashes']} full hash(es); "
+                f"{integrity['divergent_records']} divergent, "
+                f"{integrity['records_repaired']} repaired "
+                f"({'clean' if integrity['clean'] else 'DAMAGED'})"
+            )
+        if "bandwidth" in data:
+            bandwidth = data["bandwidth"]
+            print(
+                f"bandwidth: {bandwidth['wire_bytes_sent']:,} wire bytes "
+                f"for {bandwidth['payload_bytes_sent']:,} payload bytes "
+                f"(slice streams {bandwidth['compression_ratio']:.3f} of "
+                f"logical; {bandwidth['slices_parked']} parked)"
+            )
         if "detection" in data:
             detection = data["detection"]
             print(
@@ -906,6 +1032,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         "gating against a fast machine's best-of-8 would flake)",
     )
 
+    bandwidth = commands.add_parser(
+        "bandwidth",
+        help="wire-encoding bench: bytes on the wire across dedup x "
+        "encoding arms, plus tiered-audit hashing economics",
+    )
+    bandwidth.add_argument(
+        "--days", type=int, default=4,
+        help="changed-value-heavy cycles after the bootstrap",
+    )
+    bandwidth.add_argument(
+        "--label", default=None,
+        help="entry label recorded with --out (e.g. post-encoding)",
+    )
+    bandwidth.add_argument(
+        "--out", default=None,
+        help="append this run as an entry to the given BENCH_bandwidth.json",
+    )
+    bandwidth.add_argument(
+        "--check", default=None,
+        help="gate against the last entry of this baseline file; "
+        "exit 1 on regression",
+    )
+    bandwidth.add_argument(
+        "--min-ratio", type=float, default=0.8,
+        help="regression gate: fail below this fraction of the baseline "
+        "wire_reduction_ratio / audit hash_ratio",
+    )
+    bandwidth.add_argument(
+        "--baseline-label", default=None,
+        help="gate against the last --check entry with this label",
+    )
+
     serve = commands.add_parser(
         "serve",
         help="query-serving workload: batched reads, admission control, SLO",
@@ -986,6 +1144,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="arm the telemetry plane (recorder + alerting + detection "
         "join); --no-telemetry runs the bare equivalence-pinned harness",
     )
+    chaos.add_argument(
+        "--integrity", action=argparse.BooleanOptionalAction, default=True,
+        help="run a tiered integrity audit after the faults drain; "
+        "--no-integrity skips it",
+    )
+    chaos.add_argument(
+        "--wire", action="store_true",
+        help="wire-encode slices (delta + DEFLATE) and report the "
+        "wire-vs-payload byte accounting",
+    )
 
     health = commands.add_parser(
         "health",
@@ -1031,8 +1199,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     for sub in (
-        demo, fig5, fig9, month, dedup_sweep, report, observe, perf, serve,
-        chaos, health,
+        demo, fig5, fig9, month, dedup_sweep, report, observe, perf,
+        bandwidth, serve, chaos, health,
     ):
         sub.add_argument(
             "--json", action="store_true",
@@ -1049,6 +1217,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "observe": _cmd_observe,
         "perf": _cmd_perf,
+        "bandwidth": _cmd_bandwidth,
         "serve": _cmd_serve,
         "chaos": _cmd_chaos,
         "health": _cmd_health,

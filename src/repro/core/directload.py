@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.bifrost.channels import build_topology
 from repro.bifrost.chunking import ChunkedDeduplicator
 from repro.bifrost.dedup import Deduplicator, DedupResult
+from repro.bifrost.encoding import WireEncoder
 from repro.bifrost.monitor import NetworkMonitor
 from repro.bifrost.scheduler import StreamScheduler
 from repro.bifrost.slices import Slicer
@@ -129,6 +130,17 @@ class DirectLoad:
             for kind in IndexKind
         }
         self.slicer = Slicer(target_slice_bytes=self.config.slice_bytes)
+        #: wire codec between the slicer and the scheduler — packed slice
+        #: payloads are delta+DEFLATE encoded for transmission and decoded
+        #: back at each receiving cluster (None when wire_encoding is off)
+        self.wire_encoder: Optional[WireEncoder] = (
+            WireEncoder(
+                delta_enabled=self.config.wire_delta,
+                compress_level=self.config.wire_compress_level,
+            )
+            if self.config.wire_encoding
+            else None
+        )
         self.scheduler = StreamScheduler(self.config.generation_window_s)
         self.clusters: Dict[str, MintCluster] = {
             dc: MintCluster(dc, self.config.mint, self._engine_factory)
@@ -137,6 +149,8 @@ class DirectLoad:
         self.topology.register_metrics(self.metrics)
         self.monitor.register_metrics(self.metrics)
         self.transport.register_metrics(self.metrics)
+        if self.wire_encoder is not None:
+            self.wire_encoder.register_metrics(self.metrics)
         for dc, cluster in self.clusters.items():
             cluster.register_metrics(self.metrics)
             # Ingestion spans share one track per data center, matching
@@ -412,6 +426,10 @@ class DirectLoad:
                 )
             else:
                 raw_slices = self.slicer.make_slices(to_deliver)
+
+        if self.wire_encoder is not None:
+            with span("encode", version=version, slices=len(raw_slices)):
+                self.wire_encoder.encode_slices(raw_slices)
 
         with span("schedule", slices=len(raw_slices)):
             slices = self.scheduler.schedule(raw_slices, start_time=self.sim.now)

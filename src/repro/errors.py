@@ -61,6 +61,21 @@ class ChecksumMismatchError(TransmissionError):
     """A slice arrived with a checksum that does not match its payload."""
 
 
+class WireCodecError(TransmissionError):
+    """A wire-encoded slice payload could not be decoded."""
+
+
+class WireBaseUnavailableError(WireCodecError):
+    """A delta-encoded entry references a predecessor value this
+    receiver has not decoded yet.
+
+    Under pipelined delivery a version N+1 slice can overtake the
+    version N slice that carries its delta base; the receiving cluster
+    parks the slice and retries after the base lands (see
+    :meth:`repro.mint.cluster.MintCluster.ingest_slice`).
+    """
+
+
 class RoutingError(TransmissionError):
     """No usable route exists between the requested regions."""
 

@@ -12,11 +12,13 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.bifrost.chunking import ChunkStore
+from repro.bifrost.encoding import WireDecoder
 from repro.bifrost.slices import Slice
-from repro.errors import ClusterError, ConfigError
+from repro.errors import ClusterError, ConfigError, WireBaseUnavailableError
 from repro.indexing.types import IndexKind
 from repro.mint.group import NodeGroup
 from repro.mint.hashing import stable_hash
+from repro.mint.integrity import IntegrityIndex
 from repro.mint.node import Engine, StorageNode
 from repro.qindb.engine import QinDB, QinDBConfig
 
@@ -40,6 +42,11 @@ class MintConfig:
     nodes_per_group: int = 3
     replica_count: int = 3
     node_capacity_bytes: int = 256 * 1024 * 1024
+    #: keep tiered integrity summaries (CRC32 leaves + a Merkle tree +
+    #: one BLAKE2b seal per ingested slice) for audit-time verification;
+    #: pure bookkeeping — no stored byte changes.  Perf scenarios turn
+    #: it off to keep kernel bench numbers comparable.
+    integrity_enabled: bool = True
 
     def __post_init__(self) -> None:
         if self.group_count < 1:
@@ -84,6 +91,18 @@ class MintCluster:
         self._retired_versions: set = set()
         #: slices discarded by the retirement guard
         self.stale_slices_dropped = 0
+        #: receiver side of the wire codec (:mod:`repro.bifrost.encoding`)
+        self.wire_decoder = WireDecoder()
+        #: wire-encoded slices waiting for a delta base still in flight
+        self._parked_slices: List[Slice] = []
+        self.slices_parked = 0
+        self.slices_unparked = 0
+        #: parked slices discarded because their version retired first
+        self.parked_dropped = 0
+        #: tiered integrity summaries of everything ingested (audit tier)
+        self.integrity: Optional[IntegrityIndex] = (
+            IntegrityIndex() if self.config.integrity_enabled else None
+        )
         #: optional trace track (``obs.TraceTrack``) for ingest spans
         self.trace = None
         #: key -> group memo; group membership is fixed at construction
@@ -195,21 +214,92 @@ class MintCluster:
         it would resurrect keys no version map references, and under
         concurrent multi-version delivery could clobber GC accounting a
         newer version relies on.
+
+        A *wire-encoded* slice (``item.wire`` set) decodes here first.
+        A delta whose base has not landed yet (pipelined months let
+        version N+1 slices overtake version N's) parks the whole slice;
+        every later successful ingest retries the parked set.  The
+        slice's entry count is reported at arrival either way, so the
+        cycle report's ``keys_delivered`` matches the unencoded run.
         """
         if item.version in self._retired_versions:
             self.stale_slices_dropped += 1
             return 0
+        if item.wire is not None:
+            return self._ingest_wire(item)
         if item.is_delta:
             return self._ingest_delta(item)
+        return self._store_entries(item, item.entries)
+
+    def _ingest_wire(self, item: Slice) -> int:
+        """Decode a wire-encoded slice, parking it if a base is missing."""
+        try:
+            if self.trace is not None:
+                with self.trace.span(
+                    "wire_decode", slice=item.slice_id,
+                    entries=len(item.entries),
+                ):
+                    entries = self.wire_decoder.decode_slice(item)
+            else:
+                entries = self.wire_decoder.decode_slice(item)
+        except WireBaseUnavailableError:
+            self._parked_slices.append(item)
+            self.slices_parked += 1
+            return len(item.entries)
+        written = self._store_entries(item, entries)
+        if self._parked_slices:
+            self._drain_parked()
+        return written
+
+    def _drain_parked(self) -> None:
+        """Retry parked slices until no retry makes progress.
+
+        A successfully decoded slice commits new base values, which can
+        unblock other parked slices — so the drain loops until a full
+        pass parks everything again.  Drained slices were already
+        counted at arrival, so their entry counts are *not* re-reported.
+        """
+        progress = True
+        while progress and self._parked_slices:
+            progress = False
+            for parked in list(self._parked_slices):
+                if parked.version in self._retired_versions:
+                    self._parked_slices.remove(parked)
+                    self.parked_dropped += 1
+                    progress = True
+                    continue
+                try:
+                    entries = self.wire_decoder.decode_slice(parked)
+                except WireBaseUnavailableError:
+                    continue
+                self._parked_slices.remove(parked)
+                self.slices_unparked += 1
+                self._store_entries(parked, entries)
+                progress = True
+
+    def _store_entries(self, item: Slice, entries) -> int:
+        """The raw batch path: store logical entries, track the version.
+
+        Shared by plain ingest (the slice's own entries) and wire ingest
+        (the decoder's output) — both produce byte-identical stores.
+        """
         batch = [
             (storage_key(entry.kind, entry.key), item.version, entry.value)
-            for entry in item.entries
+            for entry in entries
         ]
         self.put_batch(batch)
         self.version_keys.setdefault(item.version, []).extend(
             skey for skey, _version, _value in batch
         )
-        return len(item.entries)
+        if self.integrity is not None:
+            self.integrity.absorb(
+                item,
+                [
+                    (skey, value, entry.signature)
+                    for (skey, _version, value), entry in zip(batch, entries)
+                ],
+            )
+        return len(batch)
 
     def _ingest_delta(self, item: Slice) -> int:
         recipes = self._version_recipes.setdefault(item.version, [])
@@ -226,6 +316,13 @@ class MintCluster:
         self.version_keys.setdefault(item.version, []).extend(
             skey for skey, _version, _value in batch
         )
+        if self.integrity is not None:
+            # Chunk-delta entries carry no build signature (values are
+            # reassembled here); audits still leaf-check them.
+            self.integrity.absorb(
+                item,
+                [(skey, value, None) for skey, _version, value in batch],
+            )
         return len(batch)
 
     def drop_version(self, version: int) -> int:
@@ -253,6 +350,14 @@ class MintCluster:
                 group.delete_batch(batch)
         for recipe in self._version_recipes.pop(version, []):
             self.chunk_store.release(recipe)
+        for parked in [
+            item for item in self._parked_slices if item.version == version
+        ]:
+            self._parked_slices.remove(parked)
+            self.parked_dropped += 1
+        self.wire_decoder.release_version(version)
+        if self.integrity is not None:
+            self.integrity.drop_version(version)
         return len(keys)
 
     def under_replicated(self) -> List[tuple]:
@@ -350,6 +455,29 @@ class MintCluster:
                 except AttributeError:
                     return 0.0
             return value
+
+        # Cluster-level wire-codec counters: what the decoder did, and
+        # how often pipelined delivery parked a slice on a missing base.
+        decoder_stats = self.wire_decoder.stats
+        registry.register_many(
+            f"mint.{self.name}.wire",
+            {
+                "slices_decoded": lambda: decoder_stats.slices_decoded,
+                "entries_decoded": lambda: decoder_stats.entries_decoded,
+                "deltas_applied": lambda: decoder_stats.deltas_applied,
+                "full_values": lambda: decoder_stats.full_values,
+                "bases_missing": lambda: decoder_stats.bases_missing,
+                "decode_cpu_s": lambda: decoder_stats.decode_cpu_s,
+                "slices_parked": lambda: self.slices_parked,
+                "slices_unparked": lambda: self.slices_unparked,
+                "parked_dropped": lambda: self.parked_dropped,
+                "parked_now": lambda: len(self._parked_slices),
+            },
+        )
+        if self.integrity is not None:
+            self.integrity.register_metrics(
+                registry, f"integrity.{self.name}"
+            )
 
         # Group-level read-side counters, mirroring how the write path
         # exports per-node tallies: ``mint.<dc>.g<id>.group.*`` carries
@@ -498,6 +626,10 @@ class MintCluster:
             "missing_gets": 0,
             "device_write_ops": 0,
             "stale_slices_dropped": self.stale_slices_dropped,
+            "wire_slices_decoded": self.wire_decoder.stats.slices_decoded,
+            "wire_deltas_applied": self.wire_decoder.stats.deltas_applied,
+            "wire_slices_parked": self.slices_parked,
+            "wire_parked_dropped": self.parked_dropped,
         }
         for group in self.groups:
             totals["multi_gets"] += group.multi_gets

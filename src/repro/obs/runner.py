@@ -94,6 +94,18 @@ def _highlights(snapshot: MetricsSnapshot) -> Dict[str, float]:
         "ssd.host_pages_written": total("ssd.", "host_pages_written"),
         "ssd.gc_pages_written": total("ssd.", "gc_pages_written"),
         "bifrost.link_bytes": total("bifrost.link.", "bytes"),
+        # Wire-vs-logical byte accounting: equal when wire encoding is
+        # off; the encoding rollups read 0 then (nothing registered).
+        "bifrost.wire_bytes_sent": total("bifrost.", "wire_bytes_sent"),
+        "bifrost.payload_bytes_sent": total("bifrost.", "payload_bytes_sent"),
+        "bifrost.encoding.bytes_saved": total("bifrost.", "bytes_saved"),
+        "bifrost.wire.deltas_applied": total("mint.", "deltas_applied"),
+        "bifrost.wire.slices_parked": total("mint.", "slices_parked"),
+        # Tiered integrity: cheap ingest-tier checksums vs the rare
+        # audit-tier cryptographic hashes.
+        "integrity.ingest_checksums": total("integrity.", "ingest_checksums"),
+        "integrity.seal_signatures": total("integrity.", "seal_signatures"),
+        "integrity.audit_hashes": total("integrity.", "audit_hashes"),
         "mint.puts": total("mint.", "puts"),
         "mint.recoveries": total("mint.", "recoveries"),
     }

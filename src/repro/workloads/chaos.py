@@ -53,6 +53,13 @@ class ChaosConfig:
     #: burn-rate alert windows (fast catches, slow suppresses blips)
     fast_window_s: float = 1.0
     slow_window_s: float = 5.0
+    #: run a tiered integrity audit of every cluster after the faults
+    #: drain; the report gains an ``integrity`` section.  Off by default
+    #: (same digest-stability reason as ``telemetry``).
+    integrity: bool = False
+    #: wire-encode slices (:mod:`repro.bifrost.encoding`); the report
+    #: gains a ``bandwidth`` section with wire vs payload bytes
+    wire_encoding: bool = False
 
     def __post_init__(self) -> None:
         if self.cycles < 2:
@@ -75,13 +82,14 @@ class ChaosRunResult:
     engine: object = field(repr=False, default=None)
 
 
-def build_chaos_system(tracing: bool = True):
+def build_chaos_system(tracing: bool = True, wire_encoding: bool = False):
     """The standard small system every chaos scenario is written against.
 
     Same shape as the CLI's month system: three regions, one group of
     three nodes per data center, a backbone slow enough that deliveries
     overlap the scheduled faults.  ``tracing=False`` runs the same fleet
-    on the null-tracer path (the perf-bench configuration).
+    on the null-tracer path (the perf-bench configuration);
+    ``wire_encoding=True`` turns on the bandwidth layer.
     """
     from repro.bifrost.channels import TopologyConfig
     from repro.core.config import DirectLoadConfig
@@ -91,6 +99,7 @@ def build_chaos_system(tracing: bool = True):
     return DirectLoad(
         DirectLoadConfig(
             tracing_enabled=tracing,
+            wire_encoding=wire_encoding,
             doc_count=80,
             vocabulary_size=300,
             doc_length=20,
@@ -139,7 +148,9 @@ def run_chaos(
     """Run the chaos workload; see the module docstring for the contract."""
     config = config or ChaosConfig()
     plan = resolve_plan(config.plan)
-    system = build_chaos_system(tracing=tracing)
+    system = build_chaos_system(
+        tracing=tracing, wire_encoding=config.wire_encoding
+    )
     sim = system.sim
 
     bootstrap = system.run_update_cycle()
@@ -304,6 +315,44 @@ def run_chaos(
         "lost_acknowledged_keys": lost_acknowledged,
         "under_replicated_final": under_replicated_final,
     }
+    if config.integrity:
+        from repro.faults.repair import AuditResult, ReplicaRepairer
+
+        repairer = ReplicaRepairer()
+        audit = AuditResult()
+        for cluster in system.clusters.values():
+            audit.merge(repairer.audit_cluster(cluster))
+        data["integrity"] = {
+            "slices_audited": audit.slices_audited,
+            "records_sampled": audit.records_sampled,
+            "full_hashes": audit.full_hashes,
+            "divergent_records": audit.divergent_records,
+            "records_repaired": audit.records_repaired,
+            "clean": audit.clean,
+        }
+    if config.wire_encoding:
+        encoder_stats = system.wire_encoder.stats
+        data["bandwidth"] = {
+            "payload_bytes": encoder_stats.payload_bytes,
+            "wire_bytes": encoder_stats.wire_bytes,
+            "bytes_saved": encoder_stats.bytes_saved,
+            "compression_ratio": encoder_stats.compression_ratio,
+            "encode_cpu_s": encoder_stats.encode_cpu_s,
+            "decode_cpu_s": sum(
+                cluster.wire_decoder.stats.decode_cpu_s
+                for cluster in system.clusters.values()
+            ),
+            "wire_bytes_sent": transport.total_wire_bytes_sent,
+            "payload_bytes_sent": transport.total_payload_bytes_sent,
+            "slices_parked": sum(
+                cluster.slices_parked
+                for cluster in system.clusters.values()
+            ),
+            "slices_unparked": sum(
+                cluster.slices_unparked
+                for cluster in system.clusters.values()
+            ),
+        }
     if engine is not None:
         data["alerts"] = engine.to_dicts()
         # One sampling interval of grace past each heal: an alert for a

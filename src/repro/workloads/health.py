@@ -105,6 +105,7 @@ def run_health(config: HealthConfig | None = None) -> HealthRunResult:
             plan=config.plan,
             cycles=config.cycles,
             telemetry=True,
+            integrity=True,
             sample_interval_s=config.sample_interval_s,
             fast_window_s=config.fast_window_s,
             slow_window_s=config.slow_window_s,
@@ -122,6 +123,16 @@ def run_health(config: HealthConfig | None = None) -> HealthRunResult:
         "detection": source["detection"],
         "health": source["health"],
         "telemetry": source["telemetry"],
+        "integrity": source["integrity"],
+        # Wire-vs-logical byte accounting (equal unless wire encoding on)
+        "bandwidth": {
+            "wire_bytes_sent": (
+                chaos.system.transport.total_wire_bytes_sent
+            ),
+            "payload_bytes_sent": (
+                chaos.system.transport.total_payload_bytes_sent
+            ),
+        },
         "profile": profile_tracer(chaos.system.tracer, top_k=config.top_k),
         "watch": watch_timeline(
             chaos.recorder, chaos.engine.alerts, config.watch_interval_s

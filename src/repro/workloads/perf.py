@@ -66,6 +66,9 @@ def build_perf_system(fleet: bool = False, tracing: bool = True):
                 group_count=FLEET_GROUPS,
                 nodes_per_group=FLEET_NODES_PER_GROUP,
                 node_capacity_bytes=256 * 1024 * 1024,
+                # no integrity bookkeeping in the kernel bench: keeps the
+                # numbers comparable with the recorded baseline
+                integrity_enabled=False,
             ),
             tracing_enabled=tracing,
         )
@@ -82,6 +85,7 @@ def build_perf_system(fleet: bool = False, tracing: bool = True):
             mint=MintConfig(
                 group_count=1, nodes_per_group=3,
                 node_capacity_bytes=64 * 1024 * 1024,
+                integrity_enabled=False,
             ),
             tracing_enabled=tracing,
         )

@@ -1,0 +1,64 @@
+"""Property tests for the dedup ratio accounting.
+
+The ratios feed dashboards and the CI perf gate, so they must stay
+well-defined on every dataset shape — including the empty dataset and
+all-zero-byte values, where naive division would blow up.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bifrost.dedup import Deduplicator
+from repro.indexing.types import IndexDataset, IndexEntry, IndexKind
+
+keys = st.binary(min_size=1, max_size=12)
+values = st.binary(min_size=0, max_size=64)
+pair_lists = st.lists(
+    st.tuples(keys, values), max_size=20, unique_by=lambda pair: pair[0]
+)
+
+
+def dataset(version, pairs):
+    built = IndexDataset(version=version)
+    for key, value in pairs:
+        built.add(IndexEntry(IndexKind.FORWARD, key, value))
+    return built
+
+
+@given(pair_lists, pair_lists)
+def test_ratios_always_in_unit_interval(first_pairs, second_pairs):
+    dedup = Deduplicator()
+    for version, pairs in enumerate([first_pairs, second_pairs], start=1):
+        result = dedup.process(dataset(version, pairs))
+        assert 0.0 <= result.dedup_ratio <= 1.0
+        assert 0.0 <= result.bandwidth_saving_ratio <= 1.0
+        assert result.bytes_saved >= 0
+        assert result.bytes_after + result.bytes_saved == result.bytes_before
+
+
+def test_empty_dataset_ratios_are_zero():
+    result = Deduplicator().process(IndexDataset(version=1))
+    assert result.dedup_ratio == 0.0
+    assert result.bandwidth_saving_ratio == 0.0
+    assert result.bytes_saved == 0
+
+
+def test_zero_byte_values_do_not_divide_by_zero():
+    dedup = Deduplicator()
+    empties = [(f"k{i}".encode(), b"") for i in range(4)]
+    first = dedup.process(dataset(1, empties))
+    assert 0.0 <= first.bandwidth_saving_ratio <= 1.0
+    # Second round: every (empty) value is unchanged, so all dedup away.
+    second = dedup.process(dataset(2, empties))
+    assert second.dedup_ratio == 1.0
+    assert 0.0 <= second.bandwidth_saving_ratio <= 1.0
+
+
+@given(pair_lists)
+def test_identical_reprocess_dedups_every_entry(pairs):
+    dedup = Deduplicator()
+    dedup.process(dataset(1, pairs))
+    repeat = dedup.process(dataset(2, pairs))
+    assert repeat.deduplicated_entries == repeat.total_entries
+    if pairs:
+        assert repeat.dedup_ratio == 1.0

@@ -1,0 +1,199 @@
+"""Tiered integrity hashing: leaves, Merkle tree, seal, audit economics.
+
+The design under test: ingest pays one CRC32 per record plus one BLAKE2b
+seal per slice; audits full-hash only ``ceil(log2(n)) + 1`` sampled
+records per slice (vs the naive re-hash-everything baseline), and a
+divergence triggers a full leaf sweep that repairs from checksum-verified
+peers.
+"""
+
+import math
+
+import pytest
+
+from repro.bifrost.signature import signature
+from repro.bifrost.slices import Slice
+from repro.errors import ConfigError, NodeDownError
+from repro.faults.repair import ReplicaRepairer
+from repro.indexing.types import IndexEntry, IndexKind
+from repro.mint.cluster import MintCluster, MintConfig, storage_key
+from repro.mint.integrity import (
+    IntegrityIndex,
+    combine_checksums,
+    leaf_checksum,
+    merkle_levels,
+    seal_summary,
+)
+
+
+def signed_entries(count, value_bytes=96, kind=IndexKind.FORWARD):
+    built = []
+    for i in range(count):
+        value = bytes([i % 251]) * value_bytes
+        built.append(
+            IndexEntry(kind, f"key-{i:04d}".encode(), value, signature=signature(value))
+        )
+    return built
+
+
+def make_cluster(name="dc1", **overrides):
+    return MintCluster(
+        name, MintConfig(group_count=1, nodes_per_group=3, **overrides)
+    )
+
+
+def ingest(cluster, version, entries, slice_id=None):
+    item = Slice.pack(
+        slice_id or f"v{version}-s0", version, entries[0].kind, entries
+    )
+    cluster.ingest_slice(item)
+    return item
+
+
+# ------------------------------------------------------------------- leaves
+def test_leaf_checksum_covers_every_field():
+    base = leaf_checksum(b"k", 1, b"value")
+    assert leaf_checksum(b"k", 1, b"value") == base
+    assert leaf_checksum(b"j", 1, b"value") != base
+    assert leaf_checksum(b"k", 2, b"value") != base
+    assert leaf_checksum(b"k", 1, b"valuf") != base
+
+
+def test_leaf_checksum_dedup_marker_distinct_from_empty_value():
+    assert leaf_checksum(b"k", 1, None) != leaf_checksum(b"k", 1, b"")
+
+
+def test_merkle_levels_shapes():
+    assert merkle_levels([7]) == [[7]]
+    two = merkle_levels([1, 2])
+    assert two == [[1, 2], [combine_checksums(1, 2)]]
+    # Odd leaf promotes unchanged.
+    three = merkle_levels([1, 2, 3])
+    assert three[1] == [combine_checksums(1, 2), 3]
+    assert three[2] == [combine_checksums(combine_checksums(1, 2), 3)]
+
+
+def test_merkle_root_changes_with_any_leaf():
+    leaves = list(range(10, 23))
+    root = merkle_levels(leaves)[-1][0]
+    for index in range(len(leaves)):
+        damaged = list(leaves)
+        damaged[index] ^= 0xFF
+        assert merkle_levels(damaged)[-1][0] != root
+
+
+def test_seal_binds_slice_id_and_root():
+    assert seal_summary("s1", 7) == seal_summary("s1", 7)
+    assert seal_summary("s1", 7) != seal_summary("s2", 7)
+    assert seal_summary("s1", 7) != seal_summary("s1", 8)
+
+
+def test_sample_size_is_logarithmic_and_capped():
+    index = IntegrityIndex()
+    assert index.sample_size(0) == 0
+    assert index.sample_size(1) == 1
+    assert index.sample_size(2) == 2
+    assert index.sample_size(64) == 7  # ceil(log2(64)) + 1
+    assert index.sample_size(1000) == 11
+    assert index.sample_size(3) == 3  # never more than n
+
+
+# ------------------------------------------------------------------ absorb
+def test_absorb_tracks_counters_and_verifies_paths():
+    cluster = make_cluster()
+    entries = signed_entries(9)
+    ingest(cluster, 1, entries)
+    counters = cluster.integrity.counters
+    assert counters.ingest_checksums == 9
+    assert counters.seal_signatures == 1  # ONE crypto hash for the slice
+    assert counters.records_tracked == 9
+    assert counters.slices_tracked == 1
+    (summary,) = cluster.integrity.summaries_for_version(1)
+    assert summary.record_count == 9
+    assert summary.seal == seal_summary(summary.slice_id, summary.root)
+    # Every leaf's Merkle path folds up to the sealed root.
+    for index in range(summary.record_count):
+        assert summary.verify_path(index, summary.levels[0][index])
+        assert not summary.verify_path(index, summary.levels[0][index] ^ 1)
+
+
+def test_drop_version_prunes_summaries():
+    cluster = make_cluster()
+    ingest(cluster, 1, signed_entries(4))
+    ingest(cluster, 2, signed_entries(4, value_bytes=64), slice_id="v2-s0")
+    cluster.drop_version(1)
+    assert cluster.integrity.summaries_for_version(1) == []
+    assert cluster.integrity.counters.slices_tracked == 1
+    assert cluster.integrity.counters.records_tracked == 4
+
+
+# ------------------------------------------------------------------- audits
+def test_tiered_audit_is_logarithmic_in_slice_size():
+    cluster = make_cluster()
+    ingest(cluster, 1, signed_entries(64))
+    repairer = ReplicaRepairer()
+    tiered = repairer.audit_cluster(cluster)
+    naive = repairer.audit_cluster(cluster, naive=True)
+    assert tiered.clean and naive.clean
+    assert naive.records_sampled == 64 * 3  # every record, every replica
+    # Per audited slice: at most ceil(log2(n)) + 2 full hashes (the
+    # sampled signatures plus the seal re-check) — O(log n), not O(n).
+    bound = math.ceil(math.log2(64)) + 2
+    assert tiered.full_hashes <= bound * tiered.slices_audited
+    assert naive.full_hashes == (64 + 1) * 3
+    assert tiered.full_hashes < naive.full_hashes / 5
+
+
+def test_audit_detects_and_repairs_damaged_replica():
+    cluster = make_cluster()
+    entries = signed_entries(3)  # n=3: the tiered sample covers all leaves
+    ingest(cluster, 1, entries)
+    victim_key = storage_key(entries[0].kind, entries[0].key)
+    node = cluster.group_for(victim_key).replicas_for(victim_key)[0]
+    node.put(victim_key, 1, b"bit-rotted garbage")
+    repairer = ReplicaRepairer()
+    result = repairer.audit_node(cluster, node)
+    assert result.leaf_mismatches >= 1
+    assert result.full_sweeps == 1
+    assert result.divergent_records == 1
+    assert result.records_repaired == 1
+    assert node.get(victim_key, 1) == entries[0].value  # peer copy restored
+    assert repairer.audit_cluster(cluster).clean  # fleet converged
+
+
+def test_audit_detects_signature_mismatch_against_build_sig():
+    """A forged value whose CRC tree was also forged still fails the
+    full-hash tier (the build signature rode the slice)."""
+    cluster = make_cluster()
+    entries = signed_entries(2)
+    item = ingest(cluster, 1, entries)
+    (summary,) = cluster.integrity.summaries_for_version(1)
+    forged = b"forged-but-consistent"
+    victim_key = storage_key(entries[0].kind, entries[0].key)
+    # Overwrite the record on every replica AND recompute the CRC tree
+    # as an attacker with checksum access could.
+    for node in cluster.group_for(victim_key).replicas_for(victim_key):
+        node.put(victim_key, 1, forged)
+    leaves = [leaf_checksum(victim_key, 1, forged)] + [
+        summary.levels[0][i] for i in range(1, summary.record_count)
+    ]
+    summary.levels = merkle_levels(leaves)
+    summary.seal = seal_summary(summary.slice_id, summary.root)
+    result = ReplicaRepairer().audit_cluster(cluster)
+    assert result.signature_mismatches >= 1
+    assert not result.clean
+
+
+def test_audit_requires_integrity_index_and_live_node():
+    disabled = make_cluster(integrity_enabled=False)
+    ingest_entries = signed_entries(2)
+    item = Slice.pack("v1-s0", 1, ingest_entries[0].kind, ingest_entries)
+    disabled.ingest_slice(item)
+    node = disabled.all_nodes[0]
+    with pytest.raises(ConfigError):
+        ReplicaRepairer().audit_node(disabled, node)
+    enabled = make_cluster()
+    down = enabled.all_nodes[0]
+    down.fail()
+    with pytest.raises(NodeDownError):
+        ReplicaRepairer().audit_node(enabled, down)
