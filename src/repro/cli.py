@@ -434,6 +434,8 @@ def _cmd_perf(args) -> int:
         fleet=args.fleet,
         tracing=args.tracing,
         label=args.label,
+        fleet_groups=args.fleet_groups,
+        fleet_nodes_per_group=args.fleet_nodes,
     )
     failures: List[str] = []
     if args.check:
@@ -944,6 +946,156 @@ def _cmd_health(args) -> int:
     return 0 if ok else 1
 
 
+#: crash plan for ``repro rebalance --crash``: kill a node of the group
+#: created by the scripted split while it is still receiving copies —
+#: the hardest elastic fault (copy target dies mid-rebalance).
+REBALANCE_CRASH_PLAN = "crash node=north-dc1/g1/n0 at=0.05 down=2"
+
+
+def _cmd_rebalance(args) -> int:
+    from repro.workloads.rebalance import (
+        RebalanceConfig,
+        bench_entry,
+        compare_rebalance_entries,
+        run_rebalance,
+    )
+
+    plan = REBALANCE_CRASH_PLAN if args.crash else args.plan
+    config = RebalanceConfig(
+        days=args.days,
+        plan=plan,
+        split_day=args.split_day,
+        bandwidth_bps=args.bandwidth,
+        max_records_per_s=args.records_per_s,
+    )
+    result = run_rebalance(config)
+    data = dict(result.data)
+    entry = bench_entry(data, label=args.label)
+    failures: List[str] = []
+    if args.check:
+        with open(args.check) as handle:
+            bench = json.load(handle)
+        entries = bench.get("entries") or []
+        if args.baseline_label:
+            entries = [
+                e for e in entries if e.get("label") == args.baseline_label
+            ]
+        if not entries:
+            wanted = (
+                f" labelled {args.baseline_label!r}"
+                if args.baseline_label
+                else ""
+            )
+            failures.append(f"{args.check} has no baseline entries{wanted}")
+        else:
+            failures = compare_rebalance_entries(
+                entry, entries[-1], min_ratio=args.min_ratio
+            )
+    if args.out:
+        try:
+            with open(args.out) as handle:
+                bench = json.load(handle)
+        except FileNotFoundError:
+            bench = {
+                "benchmark": "rebalance",
+                "units": {
+                    "bytes_moved": (
+                        "payload bytes copied by the migrator, including "
+                        "dedup chain bases"
+                    ),
+                    "move_duration_s": (
+                        "summed simulated seconds of topology operations"
+                    ),
+                    "read_p99_during_move_s": (
+                        "p99 read service time (simulated seconds) for "
+                        "probes issued while a migration was in flight"
+                    ),
+                },
+                "entries": [],
+            }
+        bench["entries"].append(entry)
+        with open(args.out, "w") as handle:
+            json.dump(bench, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    data["entry"] = entry
+    if args.check:
+        data["baseline"] = args.check
+        data["regressions"] = failures
+    if args.out:
+        data["out"] = args.out
+
+    def render(data: dict) -> None:
+        entry = data["entry"]
+        op_rows = [
+            [
+                f"{op['started_at_s']:.2f}s",
+                op["dc"],
+                op["kind"],
+                op["target"],
+                f"{op['duration_s']:.3f}s",
+            ]
+            for op in data["operations"]
+        ]
+        print(render_table(["start", "dc", "op", "target", "took"], op_rows))
+        fleet = data["fleet"]
+        print(
+            f"\nfleet: {fleet['start']['nodes']} nodes / "
+            f"{fleet['start']['groups']} groups -> "
+            f"{fleet['final']['nodes']} nodes / "
+            f"{fleet['final']['groups']} groups over {data['days']} days "
+            f"({len(data['operations'])} ops, "
+            f"{len(data['decisions'])} autoscaler decisions)"
+        )
+        migration = data["migration"]
+        print(
+            f"moved {migration['keys_moved']:,} keys "
+            f"({migration['records_copied']:,} records + "
+            f"{migration['bases_copied']:,} chain bases, "
+            f"{migration['bytes_moved']:,} bytes) in "
+            f"{migration['total_move_s']:.2f}s simulated; "
+            f"{migration['withdrawals']:,} stale copies withdrawn"
+        )
+        overall = data["read_latency"]["overall"]
+        moving = data["read_latency"]["during_migration"]
+        print(
+            f"reads: p99 {overall['p99'] * 1e3:.3f}ms overall, "
+            f"{moving['p99'] * 1e3:.3f}ms during migration "
+            f"({moving['count']} of {overall['count']} probes mid-move, "
+            f"{data['availability']['unavailable']} unavailable)"
+        )
+        if "faults" in data:
+            faults = data["faults"]
+            print(
+                f"faults: {faults['node_crashes']} crash(es), "
+                f"{faults['node_restarts']} restart(s), "
+                f"{faults['repair_keys']} keys re-replicated"
+            )
+        contracts = [
+            ("zero acknowledged-key loss", entry["zero_loss"]),
+            ("fully replicated at rest", entry["under_replicated_final"] == 0),
+            ("byte-identical vs static baseline", entry["digests_match"]),
+        ]
+        for name, ok in contracts:
+            print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+        if "regressions" in data:
+            if data["regressions"]:
+                print(f"\nREGRESSION vs {data['baseline']}:")
+                for line in data["regressions"]:
+                    print(f"  {line}")
+            else:
+                print(f"\nno regression vs {data['baseline']}")
+        if "out" in data:
+            print(f"\nappended entry {entry['label']!r} to {data['out']}")
+
+    _emit(args, data, render)
+    contracts_ok = (
+        entry["zero_loss"]
+        and entry["under_replicated_final"] == 0
+        and entry["digests_match"]
+    )
+    return 0 if contracts_ok and not failures else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="DirectLoad reproduction experiments"
@@ -1001,6 +1153,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     perf.add_argument(
         "--fleet", action="store_true",
         help="also run the 72-node / 100k-keys-per-cycle fleet smoke",
+    )
+    perf.add_argument(
+        "--fleet-groups", type=int, default=None,
+        help="override the fleet smoke's groups per data center",
+    )
+    perf.add_argument(
+        "--fleet-nodes", type=int, default=None,
+        help="override the fleet smoke's nodes per group",
     )
     perf.add_argument(
         "--tracing", action="store_true",
@@ -1198,9 +1358,63 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the Chrome trace (spans + alert/fault instants) here",
     )
 
+    rebalance = commands.add_parser(
+        "rebalance",
+        help="a month with a growing fleet: trace-driven autoscaling, a "
+        "scripted group split, zero-loss migration audit",
+    )
+    rebalance.add_argument(
+        "--days", type=int, default=10,
+        help="scheduled days of the monthly trace (one update cycle each)",
+    )
+    rebalance.add_argument(
+        "--plan", default="none",
+        help="fault plan started when the scripted split begins (offsets "
+        "relative to the split), or 'none'",
+    )
+    rebalance.add_argument(
+        "--crash", action="store_true",
+        help=f"shorthand for --plan {REBALANCE_CRASH_PLAN!r}: crash a "
+        "freshly split group's node while it is receiving copies",
+    )
+    rebalance.add_argument(
+        "--split-day", type=int, default=5,
+        help="trace day whose cycle is followed by the scripted split",
+    )
+    rebalance.add_argument(
+        "--bandwidth", type=float, default=4_000_000.0,
+        help="migration copy budget in bytes per simulated second",
+    )
+    rebalance.add_argument(
+        "--records-per-s", type=float, default=2000.0,
+        help="migration copy budget in records per simulated second",
+    )
+    rebalance.add_argument(
+        "--label", default=None,
+        help="entry label recorded with --out (e.g. post-elastic)",
+    )
+    rebalance.add_argument(
+        "--out", default=None,
+        help="append this run as an entry to the given BENCH_rebalance.json",
+    )
+    rebalance.add_argument(
+        "--check", default=None,
+        help="gate against the last entry of this baseline file; "
+        "exit 1 on contract breach or regression",
+    )
+    rebalance.add_argument(
+        "--min-ratio", type=float, default=0.8,
+        help="regression gate: fail when bytes moved, move duration, or "
+        "mid-move read p99 exceed baseline / min-ratio",
+    )
+    rebalance.add_argument(
+        "--baseline-label", default=None,
+        help="gate against the last --check entry with this label",
+    )
+
     for sub in (
         demo, fig5, fig9, month, dedup_sweep, report, observe, perf,
-        bandwidth, serve, chaos, health,
+        bandwidth, serve, chaos, health, rebalance,
     ):
         sub.add_argument(
             "--json", action="store_true",
@@ -1221,6 +1435,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "chaos": _cmd_chaos,
         "health": _cmd_health,
+        "rebalance": _cmd_rebalance,
     }
     return handlers[args.command](args)
 

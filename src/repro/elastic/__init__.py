@@ -1,0 +1,28 @@
+"""Elastic membership and rebalancing for the Mint fleet.
+
+Cashes in the paper's hash-to-group indirection: node join/leave and
+group split/merge on a *live* cluster, with planner-diffed move tasks
+(:mod:`~repro.elastic.planner`), throttled dual-apply migration reusing
+the repair subsystem's dedup-preserving copy machinery
+(:mod:`~repro.elastic.migrator`), and trace-driven autoscaling over the
+telemetry plane (:mod:`~repro.elastic.autoscaler`).
+"""
+
+from repro.elastic.autoscaler import (
+    AutoscalerConfig,
+    FleetAutoscaler,
+    ScaleDecision,
+)
+from repro.elastic.migrator import MigrationStats, Migrator, MigratorConfig
+from repro.elastic.planner import MoveTask, RebalancePlanner
+
+__all__ = [
+    "AutoscalerConfig",
+    "FleetAutoscaler",
+    "MigrationStats",
+    "Migrator",
+    "MigratorConfig",
+    "MoveTask",
+    "RebalancePlanner",
+    "ScaleDecision",
+]

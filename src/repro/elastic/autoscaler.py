@@ -1,0 +1,147 @@
+"""Trace-driven autoscaling policy over the telemetry plane.
+
+The :class:`FleetAutoscaler` subscribes to a
+:class:`~repro.obs.timeseries.TimeSeriesRecorder` (the PR 8 telemetry
+plane) and watches the trailing rate of one signal — by convention an
+ingest-volume counter, so the diurnal monthly trace's load swing is
+visible directly.  When the rate crosses the scale-up threshold it emits
+an ``up`` decision; below the scale-down threshold, ``down``; a cooldown
+suppresses flapping, and (optionally) any active paging alert from a
+:class:`~repro.obs.health.HealthEngine` holds scaling entirely — never
+rebalance a fleet that is mid-incident.
+
+Decisions are *advisory and deterministic*: the autoscaler mutates
+nothing.  The workload drains :meth:`FleetAutoscaler.take_pending`
+between update cycles and applies each decision through the
+:class:`~repro.elastic.migrator.Migrator` — keeping the applied topology
+operations in one replayable log, which is what lets the rebalance
+bench replay the same growth against a statically-provisioned baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Thresholds over the watched signal's trailing rate."""
+
+    #: dotted metric name of a cumulative counter to watch
+    signal: str = "elastic.load.ingest_bytes"
+    #: trailing window the rate is computed over
+    window_s: float = 10.0
+    #: rate above which the fleet should grow
+    scale_up_above: float = 1_000_000.0
+    #: rate below which the fleet should shrink (0 disables down-scaling)
+    scale_down_below: float = 100_000.0
+    #: minimum simulated seconds between decisions
+    cooldown_s: float = 30.0
+    #: hold all scaling while a paging alert is active
+    hold_while_alerting: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ConfigError("window_s must be positive")
+        if self.cooldown_s < 0:
+            raise ConfigError("cooldown_s must be >= 0")
+        if self.scale_down_below >= self.scale_up_above:
+            raise ConfigError(
+                "scale_down_below must be < scale_up_above"
+            )
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One emitted decision (advisory; the workload applies it)."""
+
+    at_s: float
+    direction: str  # "up" | "down"
+    signal_rate: float
+    threshold: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "at_s": self.at_s,
+            "direction": self.direction,
+            "signal_rate": self.signal_rate,
+            "threshold": self.threshold,
+        }
+
+
+class FleetAutoscaler:
+    """Emits scale decisions from recorder samples."""
+
+    def __init__(
+        self,
+        recorder,
+        config: Optional[AutoscalerConfig] = None,
+        engine=None,
+    ) -> None:
+        self.recorder = recorder
+        self.config = config or AutoscalerConfig()
+        #: optional :class:`~repro.obs.health.HealthEngine`; active
+        #: paging alerts hold scaling when ``hold_while_alerting``
+        self.engine = engine
+        #: every decision ever emitted, in order
+        self.decisions: List[ScaleDecision] = []
+        self._pending: List[ScaleDecision] = []
+        self._last_decision_at: Optional[float] = None
+        #: samples skipped because an alert held scaling
+        self.holds = 0
+        recorder.subscribe(self.observe)
+
+    # ------------------------------------------------------------------
+    def observe(self, at: float, values: Dict[str, float]) -> None:
+        """The recorder's sample hook: evaluate the policy once."""
+        config = self.config
+        rate = self.recorder.window_rate(
+            config.signal, config.window_s, at=at
+        )
+        if rate <= 0:
+            return  # no signal yet (run start) — never scale blind
+        if (
+            self._last_decision_at is not None
+            and at - self._last_decision_at < config.cooldown_s
+        ):
+            return
+        if rate > config.scale_up_above:
+            direction, threshold = "up", config.scale_up_above
+        elif config.scale_down_below > 0 and rate < config.scale_down_below:
+            direction, threshold = "down", config.scale_down_below
+        else:
+            return
+        if (
+            config.hold_while_alerting
+            and self.engine is not None
+            and any(
+                alert.severity == "page"
+                for alert in self.engine.active.values()
+            )
+        ):
+            self.holds += 1
+            return
+        decision = ScaleDecision(
+            at_s=at,
+            direction=direction,
+            signal_rate=rate,
+            threshold=threshold,
+        )
+        self.decisions.append(decision)
+        self._pending.append(decision)
+        self._last_decision_at = at
+
+    # ------------------------------------------------------------------
+    def take_pending(self) -> List[ScaleDecision]:
+        """Drain decisions not yet applied (the workload's poll)."""
+        pending, self._pending = self._pending, []
+        return pending
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [decision.to_dict() for decision in self.decisions]
+
+
+__all__ = ["AutoscalerConfig", "FleetAutoscaler", "ScaleDecision"]

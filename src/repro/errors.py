@@ -123,6 +123,12 @@ class OverloadError(ClusterError):
     """
 
 
+class MigrationError(ClusterError):
+    """An elastic rebalance could not converge (records unplaceable
+    after the configured verify budget, or an operation was started
+    while another was still in flight)."""
+
+
 class ReleaseError(ReproError):
     """A gray-release transition was attempted from an invalid state."""
 

@@ -220,6 +220,41 @@ class ReplicaRepairer:
         if remote:
             result.remote_copies += 1
 
+    def copy_record(
+        self,
+        source_group: NodeGroup,
+        target: StorageNode,
+        key: bytes,
+        version: int,
+        result: Optional[RepairResult] = None,
+    ) -> bool:
+        """Copy one stored record onto ``target``, representation intact.
+
+        The elastic migrator's building block, sharing the repairer's
+        peek-based machinery: a value-less deduplicated record is
+        re-created value-less, so migrated data stays byte-identical to
+        data that never moved.  Idempotent — a record the target already
+        holds is left untouched.  Reads from *any* live node of the
+        source group (mid-transition, placement there may be shifting
+        under the copy).  Returns ``False`` only if no live source node
+        held the record.
+        """
+        if target.engine.exists(key, version):
+            return True
+        for peer in source_group.nodes:
+            if peer is target or not peer.is_up:
+                continue
+            record = self._peek(peer, key, version)
+            if record is None:
+                continue
+            value, deduplicated = record
+            target.put(key, version, None if deduplicated else value)
+            if result is not None:
+                result.keys_copied += 1
+                result.bytes_copied += len(key) + len(value or b"")
+            return True
+        return False
+
     def _read_from_fleet(
         self, cluster: MintCluster, fleet, key: bytes, version: int
     ) -> Optional[Tuple[Optional[bytes], bool]]:

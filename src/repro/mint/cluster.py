@@ -14,7 +14,13 @@ from typing import Callable, Dict, List, Optional
 from repro.bifrost.chunking import ChunkStore
 from repro.bifrost.encoding import WireDecoder
 from repro.bifrost.slices import Slice
-from repro.errors import ClusterError, ConfigError, WireBaseUnavailableError
+from repro.errors import (
+    ClusterError,
+    ConfigError,
+    KeyNotFoundError,
+    ReplicationError,
+    WireBaseUnavailableError,
+)
 from repro.indexing.types import IndexKind
 from repro.mint.group import NodeGroup
 from repro.mint.hashing import stable_hash
@@ -58,6 +64,16 @@ class MintConfig:
 class MintCluster:
     """Hash-partitioned, replicated storage for one data center."""
 
+    #: slot-directory fan-out: ``H(k)`` maps into ``group_count *
+    #: SLOTS_PER_GROUP`` virtual slots, and a slot directory maps slots
+    #: to groups.  The initial directory assigns slot ``s`` to group
+    #: ``s % group_count`` — *exactly* ``H(k) % group_count``, so a
+    #: static cluster places identically to the pre-elastic code — but
+    #: group splits/merges can now remap individual slots, moving only
+    #: 1/slot_count of the keyspace per slot instead of rehashing the
+    #: world.
+    SLOTS_PER_GROUP = 16
+
     def __init__(
         self,
         name: str,
@@ -67,6 +83,9 @@ class MintCluster:
         self.name = name
         self.config = config or MintConfig()
         factory = engine_factory or self._default_engine
+        #: kept for elastic membership: late-joining nodes and groups
+        #: build their engines from the same factory as construction
+        self._engine_factory = factory
         self.groups: List[NodeGroup] = []
         for group_index in range(self.config.group_count):
             nodes = [
@@ -79,6 +98,26 @@ class MintCluster:
             self.groups.append(
                 NodeGroup(group_index, nodes, self.config.replica_count)
             )
+        self.slot_count = self.config.group_count * self.SLOTS_PER_GROUP
+        self._slot_map: List[NodeGroup] = [
+            self.groups[slot % self.config.group_count]
+            for slot in range(self.slot_count)
+        ]
+        #: slot -> (old owner, new owner) for slots mid-migration: the
+        #: old group stays authoritative (reads, version bookkeeping)
+        #: while writes dual-apply to both, until the migrator calls
+        #: :meth:`complete_slot_move`
+        self._moving_slots: Dict[int, tuple] = {}
+        #: monotonic id source for groups added after construction
+        self._next_group_id = self.config.group_count
+        #: per-group monotonic node-name indices for spawned nodes
+        self._next_node_index: Dict[int, int] = {
+            group.group_id: self.config.nodes_per_group
+            for group in self.groups
+        }
+        #: metrics registry once bound, so elastic membership changes
+        #: can (un)register node/group readers at join/leave time
+        self._registry = None
         #: per-version keys ingested, for the version-deletion thread
         self.version_keys: Dict[int, List[bytes]] = {}
         #: receiver-side chunk store for delta-encoded slices
@@ -105,9 +144,10 @@ class MintCluster:
         )
         #: optional trace track (``obs.TraceTrack``) for ingest spans
         self.trace = None
-        #: key -> group memo; group membership is fixed at construction
-        #: (node faults flip ``is_up`` inside a group), so entries never
-        #: go stale
+        #: key -> group memo over the slot directory.  Node faults flip
+        #: ``is_up`` inside a group and never move keys, so entries
+        #: survive them; a slot *cutover* (:meth:`complete_slot_move`)
+        #: rewrites the directory and flushes the memo.
         self._group_cache: Dict[bytes, NodeGroup] = {}
 
     def _default_engine(self, node_name: str) -> Engine:
@@ -122,15 +162,171 @@ class MintCluster:
         return [node for group in self.groups for node in group.nodes]
 
     def group_for(self, key: bytes) -> NodeGroup:
-        """The paper's ``H(k)`` -> group mapping (memoized per key)."""
+        """The paper's ``H(k)`` -> group mapping (memoized per key).
+
+        Resolves through the slot directory; while a slot is moving the
+        *old* owner stays authoritative, so version bookkeeping, audits,
+        and reads all agree until the migrator cuts the slot over.
+        """
         group = self._group_cache.get(key)
         if group is None:
-            group = self.groups[stable_hash(key) % len(self.groups)]
+            group = self._slot_map[stable_hash(key) % self.slot_count]
             self._group_cache[key] = group
         return group
 
+    def slot_for(self, key: bytes) -> int:
+        """The key's virtual slot in the directory."""
+        return stable_hash(key) % self.slot_count
+
+    def group_by_id(self, group_id: int) -> NodeGroup:
+        for group in self.groups:
+            if group.group_id == group_id:
+                return group
+        raise ClusterError(f"no group {group_id} in cluster {self.name!r}")
+
+    def slots_of(self, group: NodeGroup) -> List[int]:
+        """Slots the directory currently assigns to ``group``."""
+        return [
+            slot
+            for slot, owner in enumerate(self._slot_map)
+            if owner is group
+        ]
+
+    @property
+    def moving_slots(self) -> Dict[int, tuple]:
+        """Read-only view of in-flight slot moves (slot -> (old, new))."""
+        return dict(self._moving_slots)
+
+    # ------------------------------------------------------------------
+    # Elastic membership: node join/leave and group split/merge.  These
+    # only mutate topology + metric registrations; actual data movement
+    # is the migrator's job (``repro.elastic``).
+    # ------------------------------------------------------------------
+    def spawn_node(self, group: NodeGroup) -> StorageNode:
+        """Build a node from the cluster's engine factory and join it.
+
+        The name continues the group's ``n<i>`` sequence (indices are
+        never reused, so metric paths stay unambiguous across the run).
+        """
+        index = self._next_node_index.get(group.group_id, 0)
+        self._next_node_index[group.group_id] = index + 1
+        node = StorageNode(
+            f"{self.name}/g{group.group_id}/n{index}",
+            self._engine_factory(
+                f"{self.name}-g{group.group_id}-n{index}"
+            ),
+        )
+        group.add_node(node)
+        if self._registry is not None:
+            self._register_node_metrics(self._registry, node)
+        return node
+
+    def decommission_node(self, group: NodeGroup, name: str) -> StorageNode:
+        """Remove a (drained) node and retire its metric readers."""
+        node = group.remove_node(name)
+        if self._registry is not None:
+            path = node.name.replace("/", ".")
+            for prefix in (f"mint.{path}", f"qindb.{path}", f"ssd.{path}"):
+                self._registry.unregister_prefix(prefix)
+        return node
+
+    def add_group(self, node_count: Optional[int] = None) -> NodeGroup:
+        """Stand up a new, empty group (no slots assigned yet).
+
+        The planner then schedules slot moves toward it; until a slot
+        cuts over, the group serves nothing.
+        """
+        group_id = self._next_group_id
+        self._next_group_id += 1
+        count = node_count or self.config.nodes_per_group
+        if count < self.config.replica_count:
+            raise ConfigError(
+                f"new group needs >= {self.config.replica_count} nodes"
+            )
+        nodes = [
+            StorageNode(
+                f"{self.name}/g{group_id}/n{node_index}",
+                self._engine_factory(
+                    f"{self.name}-g{group_id}-n{node_index}"
+                ),
+            )
+            for node_index in range(count)
+        ]
+        group = NodeGroup(group_id, nodes, self.config.replica_count)
+        self.groups.append(group)
+        self._next_node_index[group_id] = count
+        if self._registry is not None:
+            self._register_group_metrics(self._registry, group)
+            for node in nodes:
+                self._register_node_metrics(self._registry, node)
+        return group
+
+    def remove_group(self, group: NodeGroup) -> NodeGroup:
+        """Retire a group that no longer owns slots (post-merge)."""
+        if self.slots_of(group):
+            raise ClusterError(
+                f"group {group.group_id} still owns slots; move them first"
+            )
+        if any(old is group or new is group
+               for old, new in self._moving_slots.values()):
+            raise ClusterError(
+                f"group {group.group_id} is part of an in-flight slot move"
+            )
+        if len(self.groups) <= 1:
+            raise ClusterError("cannot remove the last group")
+        self.groups.remove(group)
+        if self._registry is not None:
+            self._registry.unregister_prefix(
+                f"mint.{self.name}.g{group.group_id}.group"
+            )
+            self._registry.unregister_prefix(
+                f"elastic.{self.name}.g{group.group_id}"
+            )
+            for node in group.nodes:
+                path = node.name.replace("/", ".")
+                for prefix in (
+                    f"mint.{path}", f"qindb.{path}", f"ssd.{path}"
+                ):
+                    self._registry.unregister_prefix(prefix)
+        return group
+
+    def begin_slot_move(self, slot: int, target: NodeGroup) -> None:
+        """Start migrating a slot: old owner authoritative, writes
+        dual-apply to old + new until :meth:`complete_slot_move`."""
+        if not 0 <= slot < self.slot_count:
+            raise ClusterError(f"slot {slot} out of range")
+        if slot in self._moving_slots:
+            raise ClusterError(f"slot {slot} is already moving")
+        owner = self._slot_map[slot]
+        if owner is target:
+            raise ClusterError(f"slot {slot} already owned by target group")
+        if target not in self.groups:
+            raise ClusterError("target group is not part of this cluster")
+        self._moving_slots[slot] = (owner, target)
+
+    def complete_slot_move(self, slot: int) -> None:
+        """Cut a slot over to its new owner and flush the group memo."""
+        try:
+            _owner, target = self._moving_slots.pop(slot)
+        except KeyError:
+            raise ClusterError(f"slot {slot} is not moving") from None
+        self._slot_map[slot] = target
+        self._group_cache.clear()
+
+    def abort_slot_move(self, slot: int) -> None:
+        """Cancel an in-flight move; the old owner keeps the slot."""
+        if self._moving_slots.pop(slot, None) is None:
+            raise ClusterError(f"slot {slot} is not moving")
+
     # ------------------------------------------------------------------
     def put(self, key: bytes, version: int, value: Optional[bytes]) -> int:
+        if self._moving_slots:
+            move = self._moving_slots.get(self.slot_for(key))
+            if move is not None:
+                old, new = move
+                written = old.put(key, version, value)
+                written += new.put(key, version, value)
+                return written
         return self.group_for(key).put(key, version, value)
 
     def put_batch(self, items: List[tuple]) -> int:
@@ -142,8 +338,27 @@ class MintCluster:
         Returns the total replica writes performed.
         """
         by_group: Dict[int, List[tuple]] = {}
-        for item in items:
-            by_group.setdefault(self.group_for(item[0]).group_id, []).append(item)
+        if self._moving_slots:
+            # Slot-move slow path: items in a moving slot dual-apply to
+            # both owners, so the new group is complete at cutover.
+            moving = self._moving_slots
+            slot_count = self.slot_count
+            slot_map = self._slot_map
+            for item in items:
+                slot = stable_hash(item[0]) % slot_count
+                move = moving.get(slot)
+                if move is None:
+                    by_group.setdefault(
+                        slot_map[slot].group_id, []
+                    ).append(item)
+                else:
+                    by_group.setdefault(move[0].group_id, []).append(item)
+                    by_group.setdefault(move[1].group_id, []).append(item)
+        else:
+            for item in items:
+                by_group.setdefault(
+                    self.group_for(item[0]).group_id, []
+                ).append(item)
         total = 0
         for group in self.groups:
             batch = by_group.get(group.group_id)
@@ -158,6 +373,18 @@ class MintCluster:
         return total
 
     def get(self, key: bytes, version: int) -> bytes:
+        if self._moving_slots:
+            move = self._moving_slots.get(self.slot_for(key))
+            if move is not None:
+                # Old-then-new routing: the old owner holds every
+                # acknowledged key until cutover (writes dual-apply),
+                # so the new-owner fallback only matters if the old
+                # group is mid-fault — availability, not correctness.
+                old, new = move
+                try:
+                    return old.get(key, version)
+                except (KeyNotFoundError, ReplicationError):
+                    return new.get(key, version)
         return self.group_for(key).get(key, version)
 
     def multi_get(self, items: List[tuple], missing: str = "raise") -> List:
@@ -196,6 +423,15 @@ class MintCluster:
         return results
 
     def delete(self, key: bytes, version: int) -> int:
+        if self._moving_slots:
+            move = self._moving_slots.get(self.slot_for(key))
+            if move is not None:
+                old, new = move
+                # The new owner may not have received this record yet
+                # (the migrator is still copying), hence missing_ok.
+                return old.delete(key, version) + new.delete(
+                    key, version, missing_ok=True
+                )
         return self.group_for(key).delete(key, version)
 
     # ------------------------------------------------------------------
@@ -340,14 +576,38 @@ class MintCluster:
         self._retired_versions.add(version)
         keys = self.version_keys.pop(version, [])
         by_group: Dict[int, List[tuple]] = {}
-        for key in keys:
-            by_group.setdefault(self.group_for(key).group_id, []).append(
-                (key, version)
-            )
+        tolerant_groups: set = set()
+        if self._moving_slots:
+            # Deletions dual-apply during a slot move, like writes: a
+            # version dropped mid-migration must not survive on the
+            # new owner's copy.  The new owner may not hold every
+            # record yet, so its batch tolerates the holes.
+            for key in keys:
+                move = self._moving_slots.get(self.slot_for(key))
+                if move is None:
+                    by_group.setdefault(
+                        self.group_for(key).group_id, []
+                    ).append((key, version))
+                else:
+                    by_group.setdefault(move[0].group_id, []).append(
+                        (key, version)
+                    )
+                    by_group.setdefault(move[1].group_id, []).append(
+                        (key, version)
+                    )
+                    tolerant_groups.add(move[1].group_id)
+        else:
+            for key in keys:
+                by_group.setdefault(self.group_for(key).group_id, []).append(
+                    (key, version)
+                )
         for group in self.groups:
             batch = by_group.get(group.group_id)
             if batch:
-                group.delete_batch(batch)
+                group.delete_batch(
+                    batch,
+                    missing_ok=group.group_id in tolerant_groups,
+                )
         for recipe in self._version_recipes.pop(version, []):
             self.chunk_store.release(recipe)
         for parked in [
@@ -446,15 +706,13 @@ class MintCluster:
         live across a crash/recovery that swaps the engine object; a
         counter the engine lacks (the LSM baseline has no read cache)
         reads 0.0 rather than failing the whole snapshot.
-        """
 
-        def engine_view(node, read):
-            def value() -> float:
-                try:
-                    return float(read(node.engine))
-                except AttributeError:
-                    return 0.0
-            return value
+        The registry is retained: elastic membership changes register
+        (and unregister) their node/group readers as they happen, so a
+        node that joins mid-run shows up in the telemetry plane without
+        a re-registration sweep.
+        """
+        self._registry = registry
 
         # Cluster-level wire-codec counters: what the decoder did, and
         # how often pipelined delivery parked a slice on a missing base.
@@ -479,125 +737,167 @@ class MintCluster:
                 registry, f"integrity.{self.name}"
             )
 
+        # Cluster-level elastic gauges: topology shape and migration
+        # pressure, one glance for "is a rebalance running".
+        registry.register_many(
+            f"elastic.{self.name}",
+            {
+                "groups": lambda: len(self.groups),
+                "nodes": lambda: len(self.all_nodes),
+                "slots_moving": lambda: len(self._moving_slots),
+                "moving_keys": lambda: sum(
+                    group.moving_keys for group in self.groups
+                ),
+            },
+        )
+
+        for group in self.groups:
+            self._register_group_metrics(registry, group)
+
+        for node in self.all_nodes:
+            self._register_node_metrics(registry, node)
+
+    def _register_group_metrics(self, registry, group: NodeGroup) -> None:
         # Group-level read-side counters, mirroring how the write path
         # exports per-node tallies: ``mint.<dc>.g<id>.group.*`` carries
         # the serving reads (single + batched), failovers, and sheds.
-        for group in self.groups:
-            registry.register_many(
-                f"mint.{self.name}.g{group.group_id}.group",
-                {
-                    "gets": lambda group=group: group.gets,
-                    "multi_gets": lambda group=group: group.multi_gets,
-                    "batched_gets": lambda group=group: group.batched_gets,
-                    "failover_gets": lambda group=group: group.failover_gets,
-                    "shed_gets": lambda group=group: group.shed_gets,
-                    # Health-plane gauges: live-replica fraction plus the
-                    # durability debt (parked writes, unreplayed repair
-                    # backlog) a bare healthy count hides.
-                    "healthy": lambda group=group: group.healthy_count,
-                    "nodes": lambda group=group: len(group.nodes),
-                    "parked_writes": lambda group=group: len(
-                        group.pending_writes
-                    ),
-                    "repair_backlog": lambda group=group: sum(
-                        len(ops) for ops in group.repair_backlog.values()
-                    ),
-                },
-            )
+        registry.register_many(
+            f"mint.{self.name}.g{group.group_id}.group",
+            {
+                "gets": lambda group=group: group.gets,
+                "multi_gets": lambda group=group: group.multi_gets,
+                "batched_gets": lambda group=group: group.batched_gets,
+                "failover_gets": lambda group=group: group.failover_gets,
+                "shed_gets": lambda group=group: group.shed_gets,
+                # Health-plane gauges: live-replica fraction plus the
+                # durability debt (parked writes, unreplayed repair
+                # backlog) a bare healthy count hides.
+                "healthy": lambda group=group: group.healthy_count,
+                "nodes": lambda group=group: len(group.nodes),
+                "parked_writes": lambda group=group: len(
+                    group.pending_writes
+                ),
+                "repair_backlog": lambda group=group: sum(
+                    len(ops) for ops in group.repair_backlog.values()
+                ),
+            },
+        )
+        # Per-group elastic gauges: membership, drain state, and the
+        # migration backlog the health plane watches during rebalances.
+        registry.register_many(
+            f"elastic.{self.name}.g{group.group_id}",
+            {
+                "members": lambda group=group: len(group.nodes),
+                "draining": lambda group=group: len(group.draining),
+                "moving_keys": lambda group=group: group.moving_keys,
+                "in_transition": lambda group=group: (
+                    1.0 if group.in_transition else 0.0
+                ),
+                "slots": lambda group=group: len(self.slots_of(group)),
+            },
+        )
 
-        for node in self.all_nodes:
-            path = node.name.replace("/", ".")
-            registry.register_many(
-                f"mint.{path}",
-                {
-                    "puts": lambda node=node: node.puts,
-                    "gets": lambda node=node: node.gets,
-                    "skipped_gets": lambda node=node: node.skipped_gets,
-                    "missing_gets": lambda node=node: node.missing_gets,
-                    "deletes": lambda node=node: node.deletes,
-                    "recoveries": lambda node=node: node.recoveries,
-                    "up": lambda node=node: 1.0 if node.is_up else 0.0,
-                },
-            )
-            registry.register_many(
-                f"qindb.{path}",
-                {
-                    "user_bytes_written": engine_view(
-                        node, lambda e: e.user_bytes_written
-                    ),
-                    "user_bytes_read": engine_view(
-                        node, lambda e: e.user_bytes_read
-                    ),
-                    "aof_bytes_appended": engine_view(
-                        node, lambda e: e.aofs.bytes_appended
-                    ),
-                    "disk_used_bytes": engine_view(
-                        node, lambda e: e.aofs.disk_used_bytes
-                    ),
-                    "gc_runs": engine_view(node, lambda e: e.gc_runs),
-                    "gc_bytes_reappended": engine_view(
-                        node, lambda e: e.gc_bytes_reappended
-                    ),
-                    "memtable_items": engine_view(
-                        node, lambda e: len(e.memtable)
-                    ),
-                    "read_cache.hits": engine_view(
-                        node,
-                        lambda e: e.read_cache.counters.hits if e.read_cache else 0,
-                    ),
-                    "read_cache.misses": engine_view(
-                        node,
-                        lambda e: e.read_cache.counters.misses
-                        if e.read_cache
-                        else 0,
-                    ),
-                    "read_cache.evictions": engine_view(
-                        node,
-                        lambda e: e.read_cache.counters.evictions
-                        if e.read_cache
-                        else 0,
-                    ),
-                    "read_cache.invalidated": engine_view(
-                        node,
-                        lambda e: e.read_cache.counters.invalidated
-                        if e.read_cache
-                        else 0,
-                    ),
-                    "batch.batches": engine_view(
-                        node, lambda e: e.batch_counters.batches
-                    ),
-                    "batch.batched_puts": engine_view(
-                        node, lambda e: e.batch_counters.batched_puts
-                    ),
-                },
-            )
-            registry.register_many(
-                f"ssd.{path}",
-                {
-                    "host_pages_written": engine_view(
-                        node, lambda e: e.device.counters.host_pages_written
-                    ),
-                    "host_pages_read": engine_view(
-                        node, lambda e: e.device.counters.host_pages_read
-                    ),
-                    "gc_pages_written": engine_view(
-                        node, lambda e: e.device.counters.gc_pages_written
-                    ),
-                    "blocks_erased": engine_view(
-                        node, lambda e: e.device.counters.blocks_erased
-                    ),
-                    "host_write_ops": engine_view(
-                        node, lambda e: e.device.counters.host_write_ops
-                    ),
-                    "gc_write_ops": engine_view(
-                        node, lambda e: e.device.counters.gc_write_ops
-                    ),
-                    "busy_time_s": engine_view(
-                        node, lambda e: e.device.counters.busy_time_s
-                    ),
-                    "device_now_s": engine_view(node, lambda e: e.device.now),
-                },
-            )
+    def _register_node_metrics(self, registry, node: StorageNode) -> None:
+        def engine_view(node, read):
+            def value() -> float:
+                try:
+                    return float(read(node.engine))
+                except AttributeError:
+                    return 0.0
+            return value
+
+        path = node.name.replace("/", ".")
+        registry.register_many(
+            f"mint.{path}",
+            {
+                "puts": lambda node=node: node.puts,
+                "gets": lambda node=node: node.gets,
+                "skipped_gets": lambda node=node: node.skipped_gets,
+                "missing_gets": lambda node=node: node.missing_gets,
+                "deletes": lambda node=node: node.deletes,
+                "recoveries": lambda node=node: node.recoveries,
+                "up": lambda node=node: 1.0 if node.is_up else 0.0,
+            },
+        )
+        registry.register_many(
+            f"qindb.{path}",
+            {
+                "user_bytes_written": engine_view(
+                    node, lambda e: e.user_bytes_written
+                ),
+                "user_bytes_read": engine_view(
+                    node, lambda e: e.user_bytes_read
+                ),
+                "aof_bytes_appended": engine_view(
+                    node, lambda e: e.aofs.bytes_appended
+                ),
+                "disk_used_bytes": engine_view(
+                    node, lambda e: e.aofs.disk_used_bytes
+                ),
+                "gc_runs": engine_view(node, lambda e: e.gc_runs),
+                "gc_bytes_reappended": engine_view(
+                    node, lambda e: e.gc_bytes_reappended
+                ),
+                "memtable_items": engine_view(
+                    node, lambda e: len(e.memtable)
+                ),
+                "read_cache.hits": engine_view(
+                    node,
+                    lambda e: e.read_cache.counters.hits if e.read_cache else 0,
+                ),
+                "read_cache.misses": engine_view(
+                    node,
+                    lambda e: e.read_cache.counters.misses
+                    if e.read_cache
+                    else 0,
+                ),
+                "read_cache.evictions": engine_view(
+                    node,
+                    lambda e: e.read_cache.counters.evictions
+                    if e.read_cache
+                    else 0,
+                ),
+                "read_cache.invalidated": engine_view(
+                    node,
+                    lambda e: e.read_cache.counters.invalidated
+                    if e.read_cache
+                    else 0,
+                ),
+                "batch.batches": engine_view(
+                    node, lambda e: e.batch_counters.batches
+                ),
+                "batch.batched_puts": engine_view(
+                    node, lambda e: e.batch_counters.batched_puts
+                ),
+            },
+        )
+        registry.register_many(
+            f"ssd.{path}",
+            {
+                "host_pages_written": engine_view(
+                    node, lambda e: e.device.counters.host_pages_written
+                ),
+                "host_pages_read": engine_view(
+                    node, lambda e: e.device.counters.host_pages_read
+                ),
+                "gc_pages_written": engine_view(
+                    node, lambda e: e.device.counters.gc_pages_written
+                ),
+                "blocks_erased": engine_view(
+                    node, lambda e: e.device.counters.blocks_erased
+                ),
+                "host_write_ops": engine_view(
+                    node, lambda e: e.device.counters.host_write_ops
+                ),
+                "gc_write_ops": engine_view(
+                    node, lambda e: e.device.counters.gc_write_ops
+                ),
+                "busy_time_s": engine_view(
+                    node, lambda e: e.device.counters.busy_time_s
+                ),
+                "device_now_s": engine_view(node, lambda e: e.device.now),
+            },
+        )
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:

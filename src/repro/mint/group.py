@@ -16,7 +16,7 @@ from repro.errors import (
     NodeDownError,
     ReplicationError,
 )
-from repro.mint.hashing import rendezvous_ranking
+from repro.mint.hashing import rendezvous_ranking, weighted_rendezvous_ranking
 from repro.mint.node import StorageNode
 
 
@@ -61,21 +61,45 @@ class NodeGroup:
         self.batched_gets = 0
         self.failover_gets = 0
         self.shed_gets = 0
-        #: key -> replica nodes, memoizing the rendezvous ranking.  Valid
-        #: until *membership* changes (add/remove); node crashes and
+        #: key -> replica nodes, memoizing the rendezvous ranking.  The
+        #: cache is *versioned*: every membership mutation (add/remove/
+        #: drain) bumps ``membership_version``, and :meth:`replicas_for`
+        #: discards the map when its recorded version falls behind — so
+        #: no mutation path can forget to invalidate.  Node crashes and
         #: restarts only flip ``is_up`` and never move placement, so the
         #: cache survives them — exactly the paper's stability argument.
         self._placement_cache: Dict[bytes, List[StorageNode]] = {}
+        #: monotonic membership epoch; compared against
+        #: ``_placement_version`` to invalidate memoized placements
+        self.membership_version = 0
+        self._placement_version = 0
+        #: names of members being decommissioned: they keep serving
+        #: reads as failover of last resort but attract no new placement
+        self._draining: set = set()
+        #: elastic-transition snapshot (``None`` outside a rebalance):
+        #: the member names *before* the membership change, so writes can
+        #: dual-apply to old+new placement and reads can prefer the old
+        #: (guaranteed-complete) copy until the migrator cuts over
+        self._old_member_names: Optional[List[str]] = None
+        self._old_nodes: Dict[str, StorageNode] = {}
+        self._transition_cache: Dict[bytes, List[StorageNode]] = {}
+        #: keys this group still owes a move for (set by the migrator;
+        #: exported as the ``elastic.<dc>.g<id>.moving_keys`` gauge)
+        self.moving_keys = 0
         self._member_names: List[str] = []
         for node in nodes:
             self.add_node(node)
 
-    def _note_missed(
+    def note_missed(
         self, node_name: str, op: str, key: bytes, version: int
     ) -> None:
+        """Record an op a down node missed, for later backlog repair."""
         self.repair_backlog.setdefault(node_name, []).append(
             (op, key, version)
         )
+
+    # Pre-elastic internal spelling, kept for the write paths below.
+    _note_missed = note_missed
 
     # ------------------------------------------------------------------
     @property
@@ -98,7 +122,7 @@ class NodeGroup:
             raise ClusterError(f"duplicate node name {node.name!r}")
         self._nodes[node.name] = node
         self._member_names = sorted(self._nodes)
-        self._placement_cache.clear()
+        self.membership_version += 1
 
     def remove_node(self, name: str) -> StorageNode:
         """Leave the group (e.g. decommissioning)."""
@@ -109,19 +133,120 @@ class NodeGroup:
             )
         node = self._nodes.pop(name)
         self._member_names = sorted(self._nodes)
-        self._placement_cache.clear()
+        self._draining.discard(name)
+        self.membership_version += 1
         return node
+
+    def mark_draining(self, name: str, draining: bool = True) -> None:
+        """Flag a member as leaving: no new placement, failover-only reads.
+
+        A draining node stays a full member (it still serves the keys it
+        already holds) but ranks last in :meth:`replicas_for` — the
+        weighted-rendezvous weight-0 state — so every key it owned gains
+        a replacement replica for the migrator to populate.
+        """
+        self.node(name)  # raises if unknown
+        if draining:
+            live = len(self._nodes) - len(self._draining | {name})
+            if live < self.replica_count:
+                raise ClusterError(
+                    f"draining {name!r} would leave group {self.group_id} "
+                    f"below {self.replica_count} live replicas"
+                )
+            self._draining.add(name)
+        else:
+            self._draining.discard(name)
+        self.membership_version += 1
+
+    @property
+    def draining(self) -> List[str]:
+        return sorted(self._draining)
+
+    # ------------------------------------------------------------------
+    # Elastic transitions: dual-apply writes + old-first reads while the
+    # migrator copies records onto the new placement.
+    # ------------------------------------------------------------------
+    @property
+    def in_transition(self) -> bool:
+        return self._old_member_names is not None
+
+    def begin_transition(self) -> None:
+        """Snapshot current membership as the *old* placement epoch.
+
+        Call **before** the membership change (add/remove/drain).  Until
+        :meth:`complete_transition`, writes apply to the union of old and
+        new placement and reads prefer the old (guaranteed-complete)
+        replicas, so no acknowledged key is unreachable mid-move.
+        """
+        if self._old_member_names is not None:
+            raise ClusterError(
+                f"group {self.group_id} is already in transition"
+            )
+        self._old_member_names = list(self._member_names)
+        self._old_nodes = dict(self._nodes)
+        self._transition_cache.clear()
+        self.membership_version += 1
+
+    def complete_transition(self) -> None:
+        """Cut over: the new placement is authoritative from here on."""
+        if self._old_member_names is None:
+            raise ClusterError(
+                f"group {self.group_id} is not in transition"
+            )
+        self._old_member_names = None
+        self._old_nodes = {}
+        self._transition_cache.clear()
+        self.membership_version += 1
+
+    def old_replicas_for(self, key: bytes) -> List[StorageNode]:
+        """The key's replicas under the pre-transition membership."""
+        if self._old_member_names is None:
+            return self.replicas_for(key)
+        ranked = rendezvous_ranking(self._old_member_names, key)
+        return [
+            self._old_nodes[name] for name in ranked[: self.replica_count]
+        ]
+
+    def _write_replicas_for(self, key: bytes) -> List[StorageNode]:
+        """Write targets for ``key``: new placement, plus — during a
+        transition — any old replica not in it (the dual-apply set)."""
+        if self._old_member_names is None:
+            return self.replicas_for(key)
+        nodes = self._transition_cache.get(key)
+        if nodes is None:
+            nodes = list(self.replicas_for(key))
+            current = {node.name for node in nodes}
+            for node in self.old_replicas_for(key):
+                if node.name not in current:
+                    nodes.append(node)
+            self._transition_cache[key] = nodes
+        return nodes
 
     # ------------------------------------------------------------------
     def replicas_for(self, key: bytes) -> List[StorageNode]:
         """The ``replica_count`` nodes responsible for ``key``.
 
         Memoized per key (callers must not mutate the returned list);
-        membership changes invalidate the cache.
+        the cache self-invalidates when ``membership_version`` moves past
+        the version it was built at.  With drains pending, ranking goes
+        through the weighted path (draining members weight 0 — ranked
+        last, so they fall out of the top ``replica_count``).
         """
+        if self._placement_version != self.membership_version:
+            self._placement_cache.clear()
+            self._placement_version = self.membership_version
         nodes = self._placement_cache.get(key)
         if nodes is None:
-            ranked = rendezvous_ranking(self._member_names, key)
+            if self._draining:
+                ranked = weighted_rendezvous_ranking(
+                    [
+                        (name, 0.0 if name in self._draining else 1.0)
+                        for name in self._member_names
+                    ],
+                    key,
+                )
+            else:
+                ranked = rendezvous_ranking(self._member_names, key)
             nodes = [self._nodes[name] for name in ranked[: self.replica_count]]
             self._placement_cache[key] = nodes
         return nodes
@@ -134,7 +259,7 @@ class NodeGroup:
         (the node will be repaired on recovery by the update pipeline).
         """
         written = 0
-        for node in self.replicas_for(key):
+        for node in self._write_replicas_for(key):
             try:
                 node.put(key, version, value)
                 written += 1
@@ -166,9 +291,14 @@ class NodeGroup:
         if not items:
             return 0
         # Buckets key on the node *object* (identity hash), sparing the
-        # per-item-per-replica ``node.name`` attribute loads.
+        # per-item-per-replica ``node.name`` attribute loads.  During an
+        # elastic transition the bucketing switches to the dual-apply
+        # union so both placement epochs see the batch.
         per_node: Dict[StorageNode, List] = {}
-        replicas_for = self.replicas_for
+        if self._old_member_names is None:
+            replicas_for = self.replicas_for
+        else:
+            replicas_for = self._write_replicas_for
         get_bucket = per_node.get
         for item in items:
             for node in replicas_for(item[0]):
@@ -247,16 +377,57 @@ class NodeGroup:
         default, and every single-key caller) leaves the order exactly
         as before.
         """
-        replicas = self.replicas_for(key)
+        if self._old_member_names is None and not self._draining:
+            replicas = self.replicas_for(key)
+            if assigned is None:
+                sort_key = lambda pair: (  # noqa: E731 - tiny local ordering
+                    not pair[1].is_up,
+                    pair[1].engine.device.now,
+                    pair[0],
+                )
+            else:
+                sort_key = lambda pair: (  # noqa: E731
+                    not pair[1].is_up,
+                    assigned.get(pair[1].name, 0),
+                    pair[1].engine.device.now,
+                    pair[0],
+                )
+            return [
+                node
+                for _rank, node in sorted(enumerate(replicas), key=sort_key)
+            ]
+        # Elastic slow path (transition or drain in effect): candidates
+        # are the old placement (guaranteed complete mid-move) plus any
+        # new-only replicas.  Live non-draining nodes come first — a
+        # draining member never serves while a healthier candidate
+        # exists — then old-placement nodes outrank new-only ones whose
+        # copies may still be in flight; within a tier the usual
+        # least-loaded/rendezvous ordering applies.
+        if self._old_member_names is not None:
+            replicas = list(self.old_replicas_for(key))
+            in_old = {node.name for node in replicas}
+            replicas += [
+                node
+                for node in self.replicas_for(key)
+                if node.name not in in_old
+            ]
+        else:
+            replicas = self.replicas_for(key)
+            in_old = {node.name for node in replicas}
+        draining = self._draining
         if assigned is None:
-            sort_key = lambda pair: (  # noqa: E731 - tiny local ordering
+            sort_key = lambda pair: (  # noqa: E731
                 not pair[1].is_up,
+                pair[1].name in draining,
+                pair[1].name not in in_old,
                 pair[1].engine.device.now,
                 pair[0],
             )
         else:
             sort_key = lambda pair: (  # noqa: E731
                 not pair[1].is_up,
+                pair[1].name in draining,
+                pair[1].name not in in_old,
                 assigned.get(pair[1].name, 0),
                 pair[1].engine.device.now,
                 pair[0],
@@ -418,33 +589,49 @@ class NodeGroup:
             pending = retry
         return results
 
-    def delete(self, key: bytes, version: int) -> int:
-        """Delete on every live replica; returns the number reached."""
+    def delete(
+        self, key: bytes, version: int, missing_ok: bool = False
+    ) -> int:
+        """Delete on every live replica; returns the number reached.
+
+        ``missing_ok`` (implied while the group is in transition)
+        tolerates replicas that do not hold the record yet — a new
+        placement member the migrator is still copying toward.
+        """
+        tolerant = missing_ok or self._old_member_names is not None
         deleted = 0
-        for node in self.replicas_for(key):
+        for node in self._write_replicas_for(key):
             try:
                 node.delete(key, version)
                 deleted += 1
             except NodeDownError:
                 self._note_missed(node.name, "delete", key, version)
                 continue
+            except KeyNotFoundError:
+                if not tolerant:
+                    raise
+                continue
         self._unpark({(key, version)})
         return deleted
 
-    def delete_batch(self, items) -> int:
+    def delete_batch(self, items, missing_ok: bool = False) -> int:
         """Delete ``(key, version)`` pairs, one engine batch per node.
 
         The batched eviction path: items partition by replica set and
         each node takes its sub-batch as a single
         :meth:`StorageNode.delete_batch` call.  As with :meth:`delete`,
-        a down node is skipped (the version is gone fleet-wide anyway);
-        returns the total replica deletions performed.
+        a down node is skipped (the version is gone fleet-wide anyway),
+        and ``missing_ok`` (implied in transition) tolerates records a
+        new placement member has not received yet: the batch falls back
+        to per-item deletes, skipping the holes.  Returns the total
+        replica deletions performed.
         """
         if not items:
             return 0
+        tolerant = missing_ok or self._old_member_names is not None
         per_node: Dict[StorageNode, List] = {}
         for item in items:
-            for node in self.replicas_for(item[0]):
+            for node in self._write_replicas_for(item[0]):
                 per_node.setdefault(node, []).append(item)
         deleted = 0
         for node in self.nodes:
@@ -458,6 +645,19 @@ class NodeGroup:
                 for key, version in sub_batch:
                     self._note_missed(node.name, "delete", key, version)
                 continue
+            except KeyNotFoundError:
+                if not tolerant:
+                    raise
+                # The batched call validated before touching anything,
+                # so replay item-by-item around the missing records.
+                for key, version in sub_batch:
+                    try:
+                        node.delete(key, version)
+                        deleted += 1
+                    except KeyNotFoundError:
+                        continue
+                    except NodeDownError:
+                        self._note_missed(node.name, "delete", key, version)
         self._unpark({(key, version) for key, version in items})
         return deleted
 

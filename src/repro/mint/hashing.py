@@ -10,7 +10,8 @@ placement that moves only ~1/n of keys when membership changes.
 from __future__ import annotations
 
 import hashlib
-from typing import List, Sequence
+import math
+from typing import List, Sequence, Tuple
 
 
 def stable_hash(key: bytes, salt: bytes = b"") -> int:
@@ -26,3 +27,53 @@ def rendezvous_ranking(node_names: Sequence[str], key: bytes) -> List[str]:
     ]
     scored.sort(reverse=True)
     return [name for _score, name in scored]
+
+
+def weighted_rendezvous_ranking(
+    weighted_names: Sequence[Tuple[str, float]], key: bytes
+) -> List[str]:
+    """Rendezvous ranking with per-node weights (drain states).
+
+    The elastic-membership extension of :func:`rendezvous_ranking`:
+    every ``(name, weight)`` pair scores by weighted-rendezvous hashing,
+    with two placement-stability guarantees the migration machinery
+    leans on:
+
+    * **weight <= 0 ranks last** — a draining node keeps a deterministic
+      position (by raw hash, after every positive-weight node) so it can
+      still serve as failover-of-last-resort, but never attracts *new*
+      placement;
+    * **uniform positive weights reduce exactly to**
+      :func:`rendezvous_ranking` — the comparison stays on the integer
+      hash (no float scores), so enabling the weighted path can never
+      perturb an existing fleet's placement through rounding.
+
+    Mixed positive weights use the classic ``-w / ln(u)`` score with
+    ``u`` the hash mapped into (0, 1); ties break by hash then name,
+    keeping the order deterministic.
+    """
+    live: List[Tuple[float, int, str]] = []
+    drained: List[Tuple[int, str]] = []
+    for name, weight in weighted_names:
+        digest = stable_hash(key, salt=name.encode()[:16])
+        if weight <= 0:
+            drained.append((digest, name))
+        else:
+            live.append((weight, digest, name))
+    distinct_weights = {weight for weight, _digest, _name in live}
+    if len(distinct_weights) <= 1:
+        ranked = sorted(
+            ((digest, name) for _weight, digest, name in live), reverse=True
+        )
+    else:
+        ranked = []
+        scored = []
+        for weight, digest, name in live:
+            uniform = (digest + 0.5) / 2.0**64
+            scored.append((-weight / math.log(uniform), digest, name))
+        scored.sort(reverse=True)
+        ranked = [(digest, name) for _score, digest, name in scored]
+    drained.sort(reverse=True)
+    return [name for _digest, name in ranked] + [
+        name for _digest, name in drained
+    ]

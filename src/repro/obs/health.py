@@ -160,6 +160,15 @@ def default_gauge_rules() -> Tuple[GaugeRule, ...]:
             name="link_congested", prefix="bifrost.monitor.",
             suffix=".congested", fire_above=0.5, severity="warn",
         ),
+        # Elastic rebalances surface as informational alerts so a
+        # ``repro health --watch`` session shows data movement alongside
+        # faults.  Fires per cluster and per group while any keys are
+        # still awaiting migration; reads 0 (never fires) in fleets
+        # that have no elastic activity.
+        GaugeRule(
+            name="rebalance_backlog", prefix="elastic.",
+            suffix=".moving_keys", fire_above=0.5, severity="info",
+        ),
     )
 
 
@@ -321,6 +330,7 @@ def health_scores(values: Dict[str, float]) -> Dict[str, object]:
     nodes: Dict[str, float] = {}
     groups: Dict[str, Dict[str, float]] = {}
     links: Dict[str, float] = {}
+    elastic_groups: Dict[str, Dict[str, float]] = {}
     for name, value in values.items():
         if name.startswith("mint.") and name.endswith(".up"):
             nodes[name[len("mint."):-len(".up")]] = 1.0 if value else 0.0
@@ -333,6 +343,13 @@ def health_scores(values: Dict[str, float]) -> Dict[str, object]:
         elif ".group." in name and name.startswith("mint."):
             prefix, _sep, suffix = name.rpartition(".group.")
             groups.setdefault(prefix[len("mint."):], {})[suffix] = value
+        elif name.startswith("elastic.") and not name.startswith(
+            "elastic.load."
+        ):
+            parts = name[len("elastic."):].split(".")
+            if len(parts) == 3 and parts[1].startswith("g"):
+                target = f"{parts[0]}.{parts[1]}"
+                elastic_groups.setdefault(target, {})[parts[2]] = value
     group_scores: Dict[str, float] = {}
     for group, gauges in sorted(groups.items()):
         members = gauges.get("nodes", 0.0)
@@ -344,10 +361,25 @@ def health_scores(values: Dict[str, float]) -> Dict[str, object]:
             score -= 0.2
         group_scores[group] = max(0.0, min(1.0, score))
     floor_candidates = list(group_scores.values()) + list(links.values())
+    moving_keys = sum(
+        gauges.get("moving_keys", 0.0)
+        for gauges in elastic_groups.values()
+    )
+    rebalancing = moving_keys > 0 or any(
+        gauges.get("in_transition", 0.0) > 0
+        for gauges in elastic_groups.values()
+    )
     return {
         "nodes": dict(sorted(nodes.items())),
         "groups": group_scores,
         "links": dict(sorted(links.items())),
+        # Rebalance state rides along (informational — planned data
+        # movement is not unhealthiness, so it never lowers the floor).
+        "elastic": {
+            "groups": dict(sorted(elastic_groups.items())),
+            "moving_keys": moving_keys,
+            "rebalancing": rebalancing,
+        },
         "fleet_score": min(floor_candidates) if floor_candidates else 1.0,
     }
 

@@ -622,6 +622,46 @@ class QinDB:
         self._charge_cpu()
         return item is not None and not item.deleted
 
+    def holds(self, key: bytes, version: int) -> bool:
+        """Whether *any* record — live or deleted — is stored for
+        ``(key, version)``.  Deleted-but-referenced dedup bases count:
+        elastic migration uses this to check a chain base landed."""
+        self._check_open()
+        item = self.memtable.get(key, version)
+        self._charge_cpu()
+        return item is not None
+
+    def chain_base(self, key: bytes, version: int):
+        """Where a value-less ``(key, version)`` record's traceback lands.
+
+        Returns ``(base_version, value, deleted)`` for the nearest older
+        value-bearing record — the ``d`` flag is ignored, per the GC's
+        referent rule, and reported so a migrator can reproduce the base
+        *as stored* — or ``None`` when the record is absent or carries
+        its own value (no base needed).  Raises
+        :class:`KeyNotFoundError` when the record is value-less but no
+        stored base resolves it (a partial copy: this replica cannot
+        serve as a chain source).  Maintenance read, like :meth:`peek`:
+        no user-read accounting.
+        """
+        self._check_open()
+        target = self.memtable.get(key, version)
+        self._charge_cpu()
+        if target is None or target.has_value:
+            return None
+        base_version: Optional[int] = None
+        base = None
+        for item_version, item in self.memtable.versions_of(key):
+            if item_version >= version:
+                break
+            if item.has_value:
+                base_version, base = item_version, item
+        if base is None:
+            raise KeyNotFoundError(
+                f"dedup chain for {key!r}/{version} reaches no stored value"
+            )
+        return (base_version, self._read_value(base.location), base.deleted)
+
     def peek(self, key: bytes, version: int):
         """Raw repair read: the record *as stored*, or ``None``.
 

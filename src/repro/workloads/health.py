@@ -92,6 +92,14 @@ def watch_timeline(
                 "alert_names": sorted({alert.name for alert in active}),
                 "probes": values.get("faults.reads.probes", 0.0),
                 "unavailable": values.get("faults.reads.unavailable", 0.0),
+                # Elastic rebalance state: keys still awaiting migration
+                # and per-group membership, so watching a rebalance run
+                # shows the backlog draining alongside any faults.
+                "moving_keys": scores["elastic"]["moving_keys"],
+                "members": {
+                    target: gauges.get("members", 0.0)
+                    for target, gauges in scores["elastic"]["groups"].items()
+                },
             }
         )
     return rows

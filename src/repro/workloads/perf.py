@@ -38,14 +38,22 @@ CHAOS_PLAN = "single-node-crash"
 CHAOS_CYCLES = 3
 
 
-def build_perf_system(fleet: bool = False, tracing: bool = True):
+def build_perf_system(
+    fleet: bool = False,
+    tracing: bool = True,
+    groups: Optional[int] = None,
+    nodes_per_group: Optional[int] = None,
+):
     """The system under test.
 
     The default shape is the CLI month system (``repro month``): three
     regions, one group of three nodes per data center, a backbone slow
     enough that delivery tails overlap generation windows.  The fleet
     shape widens Mint to 4 groups x 3 nodes per DC (72 nodes fleet-wide)
-    and the corpus to >100k delivered keys per cycle.
+    and the corpus to >100k delivered keys per cycle.  ``groups`` /
+    ``nodes_per_group`` override either shape's node count — the knob
+    the elastic rebalance experiments use to compare provisioning
+    levels on otherwise-identical systems.
     """
     from repro.bifrost.channels import TopologyConfig
     from repro.core.config import DirectLoadConfig
@@ -63,8 +71,8 @@ def build_perf_system(fleet: bool = False, tracing: bool = True):
             generation_window_s=5.0,
             topology=TopologyConfig(backbone_bps=64_000_000.0),
             mint=MintConfig(
-                group_count=FLEET_GROUPS,
-                nodes_per_group=FLEET_NODES_PER_GROUP,
+                group_count=groups or FLEET_GROUPS,
+                nodes_per_group=nodes_per_group or FLEET_NODES_PER_GROUP,
                 node_capacity_bytes=256 * 1024 * 1024,
                 # no integrity bookkeeping in the kernel bench: keeps the
                 # numbers comparable with the recorded baseline
@@ -83,7 +91,8 @@ def build_perf_system(fleet: bool = False, tracing: bool = True):
             generation_window_s=5.0,
             topology=TopologyConfig(backbone_bps=1_000_000.0),
             mint=MintConfig(
-                group_count=1, nodes_per_group=3,
+                group_count=groups or 1,
+                nodes_per_group=nodes_per_group or 3,
                 node_capacity_bytes=64 * 1024 * 1024,
                 integrity_enabled=False,
             ),
@@ -218,6 +227,8 @@ def run_perf(
     fleet: bool = False,
     tracing: bool = False,
     label: Optional[str] = None,
+    fleet_groups: Optional[int] = None,
+    fleet_nodes_per_group: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run the requested scenarios and return one BENCH_kernel entry."""
     names = list(scenarios) if scenarios else list(SCENARIO_NAMES)
@@ -235,13 +246,31 @@ def run_perf(
         },
     }
     if fleet:
-        entry["fleet"] = run_fleet_smoke(tracing=tracing)
+        entry["fleet"] = run_fleet_smoke(
+            tracing=tracing,
+            groups=fleet_groups,
+            nodes_per_group=fleet_nodes_per_group,
+        )
     return entry
 
 
-def run_fleet_smoke(cycles: int = 2, tracing: bool = False) -> Dict[str, object]:
-    """The fleet-scale affordability check: 72 nodes, >100k keys/cycle."""
-    system = build_perf_system(fleet=True, tracing=tracing)
+def run_fleet_smoke(
+    cycles: int = 2,
+    tracing: bool = False,
+    groups: Optional[int] = None,
+    nodes_per_group: Optional[int] = None,
+) -> Dict[str, object]:
+    """The fleet-scale affordability check: 72 nodes, >100k keys/cycle.
+
+    ``groups`` / ``nodes_per_group`` override the default fleet shape,
+    so provisioning levels can be compared on the same corpus.
+    """
+    system = build_perf_system(
+        fleet=True,
+        tracing=tracing,
+        groups=groups,
+        nodes_per_group=nodes_per_group,
+    )
     started = time.perf_counter()
     reports = [system.run_update_cycle()]
     for _ in range(cycles - 1):

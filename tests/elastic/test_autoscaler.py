@@ -1,0 +1,118 @@
+"""FleetAutoscaler: threshold crossings, cooldown, incident holds."""
+
+import types
+
+import pytest
+
+from repro.elastic.autoscaler import AutoscalerConfig, FleetAutoscaler
+from repro.errors import ConfigError
+
+
+class StubRecorder:
+    """A recorder double: scripted rates, manual sample ticks."""
+
+    def __init__(self):
+        self.subscribers = []
+        self.rate = 0.0
+
+    def subscribe(self, hook):
+        self.subscribers.append(hook)
+
+    def window_rate(self, name, window_s, at=None):
+        return self.rate
+
+    def tick(self, at, rate):
+        self.rate = rate
+        for hook in self.subscribers:
+            hook(at, {})
+
+
+def page_engine(severity="page"):
+    alert = types.SimpleNamespace(severity=severity)
+    return types.SimpleNamespace(active={"slo": alert})
+
+
+CONFIG = AutoscalerConfig(
+    scale_up_above=1000.0, scale_down_below=500.0, cooldown_s=10.0
+)
+
+
+def test_config_rejects_inverted_thresholds():
+    with pytest.raises(ConfigError):
+        AutoscalerConfig(scale_up_above=100.0, scale_down_below=100.0)
+    with pytest.raises(ConfigError):
+        AutoscalerConfig(window_s=0)
+
+
+def test_scales_up_above_threshold():
+    recorder = StubRecorder()
+    scaler = FleetAutoscaler(recorder, CONFIG)
+    recorder.tick(1.0, 2000.0)
+    (decision,) = scaler.decisions
+    assert decision.direction == "up"
+    assert decision.signal_rate == 2000.0
+    assert decision.threshold == 1000.0
+
+
+def test_scales_down_below_threshold_unless_disabled():
+    recorder = StubRecorder()
+    scaler = FleetAutoscaler(recorder, CONFIG)
+    recorder.tick(1.0, 300.0)
+    assert [d.direction for d in scaler.decisions] == ["down"]
+
+    recorder = StubRecorder()
+    disabled = FleetAutoscaler(
+        recorder,
+        AutoscalerConfig(
+            scale_up_above=1000.0, scale_down_below=0.0, cooldown_s=10.0
+        ),
+    )
+    recorder.tick(1.0, 300.0)
+    assert disabled.decisions == []
+
+
+def test_never_scales_blind_or_in_band():
+    recorder = StubRecorder()
+    scaler = FleetAutoscaler(recorder, CONFIG)
+    recorder.tick(1.0, 0.0)  # no signal yet (run start)
+    recorder.tick(2.0, 750.0)  # between the thresholds
+    assert scaler.decisions == []
+
+
+def test_cooldown_suppresses_flapping():
+    recorder = StubRecorder()
+    scaler = FleetAutoscaler(recorder, CONFIG)
+    recorder.tick(1.0, 2000.0)
+    recorder.tick(5.0, 2000.0)  # inside the 10s cooldown
+    assert len(scaler.decisions) == 1
+    recorder.tick(12.0, 2000.0)  # cooldown expired
+    assert len(scaler.decisions) == 2
+
+
+def test_paging_alert_holds_scaling():
+    recorder = StubRecorder()
+    scaler = FleetAutoscaler(recorder, CONFIG, engine=page_engine())
+    recorder.tick(1.0, 2000.0)
+    assert scaler.decisions == []
+    assert scaler.holds == 1
+
+    # sub-page severities do not hold
+    recorder = StubRecorder()
+    scaler = FleetAutoscaler(
+        recorder, CONFIG, engine=page_engine(severity="warn")
+    )
+    recorder.tick(1.0, 2000.0)
+    assert len(scaler.decisions) == 1 and scaler.holds == 0
+
+
+def test_take_pending_drains_once():
+    recorder = StubRecorder()
+    scaler = FleetAutoscaler(recorder, CONFIG)
+    recorder.tick(1.0, 2000.0)
+    recorder.tick(15.0, 200.0)
+    pending = scaler.take_pending()
+    assert [d.direction for d in pending] == ["up", "down"]
+    assert scaler.take_pending() == []
+    # the permanent log keeps everything
+    assert len(scaler.decisions) == 2
+    assert [d["direction"] for d in scaler.to_dicts()] == ["up", "down"]

@@ -257,3 +257,53 @@ def test_join_detections_respects_heal_deadline():
     result = join_detections(timeline, [late], grace_s=0.25)
     assert result["detected"] == 0
     assert result["undetected_required"] == 1
+
+
+# ------------------------------------------------------------- elastic
+def test_health_scores_surface_rebalance_activity():
+    values = {
+        "mint.dc1.g0.group.healthy": 3.0,
+        "mint.dc1.g0.group.nodes": 3.0,
+        "elastic.dc1.g0.members": 4.0,
+        "elastic.dc1.g0.moving_keys": 12.0,
+        "elastic.dc1.g1.members": 3.0,
+        "elastic.dc1.g1.moving_keys": 0.0,
+        "elastic.load.ingest_bytes": 5.0e6,  # counter, not a group gauge
+    }
+    scores = health_scores(values)
+    elastic = scores["elastic"]
+    assert elastic["moving_keys"] == 12.0
+    assert elastic["rebalancing"] is True
+    assert elastic["groups"]["dc1.g0"]["members"] == 4.0
+    assert "load" not in {t.split(".")[0] for t in elastic["groups"]}
+    # informational only: a rebalance never lowers fleet health
+    assert scores["fleet_score"] == 1.0
+
+
+def test_health_scores_elastic_quiesced():
+    scores = health_scores({"elastic.dc1.g0.moving_keys": 0.0})
+    assert scores["elastic"]["rebalancing"] is False
+    assert scores["elastic"]["moving_keys"] == 0.0
+
+
+def test_rebalance_backlog_rule_fires_while_keys_move():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    state = {"moving": 0.0}
+    registry.register("elastic.dc1.g0.moving_keys", lambda: state["moving"])
+    recorder = _recorder(sim, registry)
+    engine = HealthEngine(recorder, burn_rules=())
+    recorder.start()
+
+    def script():
+        yield sim.timeout(1.0)
+        state["moving"] = 40.0
+        yield sim.timeout(1.0)
+        state["moving"] = 0.0
+
+    sim.process(script())
+    sim.run(until=3.0)
+    (alert,) = [a for a in engine.alerts if a.name == "rebalance_backlog"]
+    assert alert.target == "dc1.g0"
+    assert alert.severity == "info"
+    assert not alert.active  # resolved once the backlog drained
